@@ -1,0 +1,87 @@
+"""Ablation (Section 1): feedback control vs. the non-adaptive alternatives.
+
+Section 1 lists the alternatives to feedback control: do nothing, a fixed
+upper bound tuned by the administrator, and theoretically derived rules of
+thumb (Tay, Iyer).  The paper argues these are inadequate when the workload
+changes.  This ablation runs all six policies through the same workload jump
+(transaction size doubles mid-run) on a reduced configuration and compares
+the useful work they deliver.
+
+Expectations encoded as assertions:
+
+* every admission-controlled policy beats "do nothing";
+* the adaptive feedback controllers (IS, PA) are competitive with the best
+  policy overall (within 25%), without knowing the workload parameters.
+"""
+
+from conftest import run_once
+
+from repro.core.incremental_steps import IncrementalStepsController
+from repro.core.parabola import ParabolaController
+from repro.core.rules import IyerRule, TayRule
+from repro.core.static import FixedLimit, NoControl
+from repro.experiments.config import default_system_params
+from repro.experiments.dynamic import jump_scenario, run_tracking_experiment
+from repro.experiments.report import format_table
+from repro.tp.params import WorkloadParams
+
+
+def _policies(params):
+    upper = params.n_terminals
+    return {
+        "no control": lambda: NoControl(upper_bound=upper),
+        "fixed limit (tuned for small txns)": lambda: FixedLimit(40, upper_bound=upper),
+        "tay rule": lambda: TayRule(db_size=params.workload.db_size,
+                                    accesses_per_txn=params.workload.accesses_per_txn,
+                                    upper_bound=upper),
+        "iyer rule": lambda: IyerRule(target_conflicts=0.75, step=3.0, initial_limit=20,
+                                      upper_bound=upper),
+        "incremental steps": lambda: IncrementalStepsController(
+            initial_limit=20, beta=1.0, gamma=5, delta=10, min_step=2.0,
+            lower_bound=2, upper_bound=upper),
+        "parabola approximation": lambda: ParabolaController(
+            initial_limit=20, forgetting=0.9, probe_amplitude=3.0, max_move=30.0,
+            lower_bound=2, upper_bound=upper),
+    }
+
+
+def test_ablation_controllers_vs_baselines(benchmark, scale):
+    base = default_system_params(seed=29)
+    params = base.with_changes(
+        n_terminals=250,
+        workload=WorkloadParams(db_size=2000, accesses_per_txn=6,
+                                query_fraction=0.25, write_fraction=0.5))
+    scenario = jump_scenario("accesses", 6, 12, jump_time=scale.tracking_horizon / 2.0)
+
+    def experiment():
+        rows = {}
+        for name, factory in _policies(params).items():
+            result = run_tracking_experiment(factory(), scenario, base_params=params,
+                                             scale=scale)
+            rows[name] = {
+                "commits": result.total_commits,
+                "mean_response_time": result.mean_response_time,
+                "mean_throughput": result.trace.mean_throughput(),
+            }
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print()
+    print("Ablation — load-control policies under a workload jump")
+    print(format_table(
+        ["policy", "commits", "mean throughput", "mean response time"],
+        [[name, row["commits"], row["mean_throughput"], row["mean_response_time"]]
+         for name, row in rows.items()]))
+
+    for name, row in rows.items():
+        benchmark.extra_info[f"{name} commits"] = row["commits"]
+
+    best = max(row["commits"] for row in rows.values())
+    no_control = rows["no control"]["commits"]
+    for name in ("incremental steps", "parabola approximation", "iyer rule", "tay rule",
+                 "fixed limit (tuned for small txns)"):
+        assert rows[name]["commits"] >= no_control, f"{name} did worse than doing nothing"
+    for name in ("incremental steps", "parabola approximation"):
+        assert rows[name]["commits"] >= 0.75 * best, (
+            f"{name} fell more than 25% behind the best policy")

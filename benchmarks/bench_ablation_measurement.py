@@ -1,0 +1,91 @@
+"""Ablation (Section 5.2 / Figure 6): measurement interval vs. aging.
+
+The paper argues that for the PA estimator it is "better to choose a small
+Δt and a large a instead of a large Δt and small a": both give the estimator
+the same amount of information, but the short-interval/strong-aging variant
+reacts faster to genuine changes.
+
+The ablation compares the two memory shapes on the synthetic plant with a
+jumping optimum, holding the information content roughly constant:
+
+* long intervals, no aging  (Δt = 5 units, a = 0)  --> one update per 5 steps
+  with the unweighted mean of the 5 performance samples;
+* short intervals, strong aging (Δt = 1 unit, a = 0.8).
+
+The short-interval variant must settle on the new optimum faster.
+"""
+
+from conftest import run_once
+
+from repro.analytic.synthetic import DynamicOptimumScenario, SyntheticSystem
+from repro.core.parabola import ParabolaController
+from repro.core.types import IntervalMeasurement
+from repro.experiments.report import format_table
+from repro.tp.workload import ConstantSchedule, JumpSchedule
+
+
+def _run_aggregated(steps, aggregate, forgetting, seed, jump_step):
+    """Drive PA with measurements aggregated over ``aggregate`` plant steps."""
+    scenario = DynamicOptimumScenario(
+        position=JumpSchedule(60.0, 160.0, jump_time=float(jump_step)),
+        height=ConstantSchedule(100.0))
+    controller = ParabolaController(initial_limit=40, forgetting=forgetting,
+                                    probe_amplitude=4.0, max_move=40.0,
+                                    lower_bound=2, upper_bound=400)
+    plant = SyntheticSystem(scenario, controller, interval=1.0, noise_std=2.0, seed=seed)
+    # run the plant manually so several steps can be folded into one update
+    errors = []
+    pending = []
+    for step in range(steps):
+        plant.time += plant.interval
+        function = plant.scenario.function_at(plant.time)
+        load = plant.realized_load(controller.current_limit)
+        performance = max(0.0, function.value(load) + float(plant.rng.normal(0, plant.noise_std)))
+        pending.append((load, performance))
+        if len(pending) == aggregate:
+            mean_load = sum(l for l, _ in pending) / aggregate
+            mean_perf = sum(p for _, p in pending) / aggregate
+            measurement = IntervalMeasurement(
+                time=plant.time, interval_length=float(aggregate), throughput=mean_perf,
+                mean_concurrency=mean_load, concurrency_at_sample=mean_load,
+                current_limit=controller.current_limit, commits=int(mean_perf * aggregate))
+            controller.update(measurement)
+            pending = []
+        if step > jump_step:
+            errors.append(abs(controller.current_limit - plant.scenario.optimum_at(plant.time)))
+    # mean error over the post-jump half and the time to get within 20%
+    settle = next((index for index, error in enumerate(errors) if error < 0.2 * 160.0), None)
+    mean_error = sum(errors) / len(errors) if errors else float("inf")
+    return mean_error, (settle if settle is not None else len(errors))
+
+
+def test_ablation_interval_vs_aging(benchmark, scale):
+    steps = max(scale.synthetic_steps, 200)
+    jump_step = steps // 2
+
+    def experiment():
+        rows = {}
+        # long interval, no aging: aggregate 5 plant steps, forgetting = 1.0
+        rows["long interval, a=0"] = _run_aggregated(steps, aggregate=5, forgetting=1.0,
+                                                     seed=41, jump_step=jump_step)
+        # short interval, strong aging: every step, forgetting = 0.8
+        rows["short interval, a=0.8"] = _run_aggregated(steps, aggregate=1, forgetting=0.8,
+                                                        seed=41, jump_step=jump_step)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print()
+    print("Ablation — estimator memory shape (Figure 6 discussion)")
+    print(format_table(["variant", "mean |error| after jump", "steps to reach 20% band"],
+                       [[name, error, settle] for name, (error, settle) in rows.items()]))
+
+    for name, (error, settle) in rows.items():
+        benchmark.extra_info[f"{name} mean_error"] = round(error, 2)
+        benchmark.extra_info[f"{name} settle_steps"] = settle
+
+    short = rows["short interval, a=0.8"]
+    long = rows["long interval, a=0"]
+    # the paper's recommendation: the short-interval / strong-aging variant
+    # recovers from the jump at least as fast as the long-interval variant
+    assert short[1] <= long[1]

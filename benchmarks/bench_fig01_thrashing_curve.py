@@ -1,0 +1,46 @@
+"""Figure 1: the load/throughput function of the uncontrolled system.
+
+The paper's Figure 1 is a schematic of the three phases (underload,
+saturation, overload/thrashing).  This benchmark produces the measured
+counterpart: a stationary sweep of the offered load with *no* load control,
+classified into the three phases.  The reproduction succeeds if the curve
+rises, flattens and then drops -- i.e. the overload phase is non-empty and
+the peak lies strictly inside the measured range.
+"""
+
+from conftest import run_once
+
+from repro.analytic.thrashing import classify_phases, thrashing_onset
+from repro.experiments.config import default_system_params
+from repro.experiments.report import format_sweep_table
+from repro.experiments.stationary import sweep_offered_load
+
+
+def test_fig01_uncontrolled_thrashing_curve(benchmark, scale):
+    def experiment():
+        return sweep_offered_load(
+            default_system_params(), controller_factory=None, scale=scale,
+            label="without control", include_model_reference=True)
+
+    sweep = run_once(benchmark, experiment)
+    curve = sweep.curve()
+    phases = classify_phases(curve)
+    onset = thrashing_onset(curve, drop_fraction=0.1)
+
+    print()
+    print("Figure 1 — load/throughput function without load control")
+    print(format_sweep_table([sweep]))
+    print(f"peak throughput {phases.peak_throughput:.1f} tps at offered load "
+          f"{phases.optimum_load:.0f}; thrashing onset at load {onset:.0f}")
+
+    benchmark.extra_info["curve"] = [(load, round(value, 2)) for load, value in curve]
+    benchmark.extra_info["optimum_load"] = phases.optimum_load
+    benchmark.extra_info["peak_throughput"] = round(phases.peak_throughput, 2)
+    benchmark.extra_info["thrashing_onset"] = onset
+
+    # the qualitative claims of Figure 1
+    assert phases.has_thrashing, "the uncontrolled system must thrash in the measured range"
+    loads = [load for load, _ in curve]
+    assert phases.optimum_load < max(loads), "the optimum must lie inside the sweep"
+    heaviest = curve[-1][1]
+    assert heaviest < 0.9 * phases.peak_throughput

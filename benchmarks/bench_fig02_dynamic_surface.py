@@ -1,0 +1,74 @@
+"""Figure 2: the dynamic behaviour of a thrashing system.
+
+Figure 2 sketches the load/performance function as a surface over time: a
+"mountain" whose ridge (the optimum) moves.  Section 3 abstracts load
+control as tracking that ridge from realized (load, performance) pairs only.
+
+This benchmark materializes the surface from two directions and checks that
+they agree qualitatively:
+
+* the *synthetic* scenario used by the controller unit tests (an explicit
+  moving optimum), evaluated on a (time, load) grid;
+* the *analytic OCC model* of the simulated system, evaluated for the
+  workload parameters a jump scenario produces before and after the jump --
+  this is the reference optimum the Figure 13/14 benchmarks track.
+"""
+
+from conftest import run_once
+
+from repro.analytic.occ import OccModel
+from repro.analytic.synthetic import DynamicOptimumScenario
+from repro.experiments.config import contention_bound_params
+from repro.experiments.report import format_table
+from repro.tp.workload import JumpSchedule, SinusoidSchedule
+
+
+def test_fig02_dynamic_performance_surface(benchmark, scale):
+    base = contention_bound_params()
+
+    def experiment():
+        # synthetic ridge: position moves sinusoidally, height jumps
+        scenario = DynamicOptimumScenario(
+            position=SinusoidSchedule(mean=100.0, amplitude=40.0, period=400.0),
+            height=JumpSchedule(80.0, 120.0, jump_time=300.0))
+        times = [20.0 * i for i in range(scale.synthetic_steps // 20 + 1)]
+        loads = [10.0 * i for i in range(1, 21)]
+        surface = {
+            time: [round(scenario.function_at(time).value(load), 2) for load in loads]
+            for time in times
+        }
+        ridge = [(time, scenario.optimum_at(time), scenario.peak_at(time)) for time in times]
+
+        # analytic ridge of the simulated system before/after a k jump
+        optima = {}
+        for k in (4, 16):
+            params = base.with_changes(workload=base.workload.with_changes(accesses_per_txn=k))
+            model = OccModel(params)
+            optimum = model.optimal_mpl()
+            optima[k] = (optimum, model.throughput(optimum))
+        return surface, ridge, optima
+
+    surface, ridge, optima = run_once(benchmark, experiment)
+
+    print()
+    print("Figure 2 — moving ridge of the synthetic performance mountain")
+    print(format_table(["time", "optimum position", "peak performance"], ridge))
+    print()
+    print("Analytic ridge of the simulated system (k jump 4 -> 16):")
+    print(format_table(["k", "optimum MPL", "peak throughput"],
+                       [[k, optimum, peak] for k, (optimum, peak) in optima.items()]))
+
+    benchmark.extra_info["synthetic_ridge"] = [
+        (time, round(position, 1), round(peak, 1)) for time, position, peak in ridge]
+    benchmark.extra_info["analytic_optima"] = {
+        str(k): (round(optimum, 1), round(peak, 1)) for k, (optimum, peak) in optima.items()}
+
+    # the ridge genuinely moves in both views
+    positions = [position for _, position, _ in ridge]
+    assert max(positions) - min(positions) > 20.0
+    assert optima[16][0] > 1.5 * optima[4][0]
+    # every time slice of the surface is unimodal (monotone up, then down)
+    for values in surface.values():
+        peak_index = values.index(max(values))
+        assert values[:peak_index + 1] == sorted(values[:peak_index + 1])
+        assert values[peak_index:] == sorted(values[peak_index:], reverse=True)

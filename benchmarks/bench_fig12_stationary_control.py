@@ -1,0 +1,70 @@
+"""Figure 12: system throughput with and without control (stationary case).
+
+The paper sweeps the offered load from 100 to 800 terminals under constant
+workload parameters and shows two curves: the uncontrolled system, whose
+throughput collapses under heavy load, and the controlled system (PA shown;
+IS indistinguishable in this case), whose throughput stays at the peak for
+every offered load.
+
+The reproduction regenerates the three series (no control, IS, PA) and
+checks the paper's qualitative statements:
+
+* both controllers keep heavy-load throughput close to the peak of the
+  uncontrolled curve;
+* the difference between PA and IS is small in the stationary case.
+"""
+
+from conftest import run_once
+
+from repro.core.incremental_steps import IncrementalStepsController
+from repro.core.parabola import ParabolaController
+from repro.experiments.config import default_system_params
+from repro.experiments.report import format_sweep_table
+from repro.experiments.stationary import sweep_offered_load
+
+
+def _is_factory(params):
+    return IncrementalStepsController(
+        initial_limit=10, beta=1.0, gamma=5, delta=10, min_step=2.0,
+        lower_bound=2, upper_bound=params.n_terminals)
+
+
+def _pa_factory(params):
+    return ParabolaController(
+        initial_limit=10, forgetting=0.9, probe_amplitude=3.0,
+        lower_bound=2, upper_bound=params.n_terminals)
+
+
+def test_fig12_throughput_with_and_without_control(benchmark, scale):
+    base = default_system_params()
+
+    def experiment():
+        without = sweep_offered_load(base, None, scale=scale, label="without control")
+        with_is = sweep_offered_load(base, _is_factory, scale=scale, label="IS control")
+        with_pa = sweep_offered_load(base, _pa_factory, scale=scale, label="PA control")
+        return without, with_is, with_pa
+
+    without, with_is, with_pa = run_once(benchmark, experiment)
+
+    print()
+    print("Figure 12 — throughput with and without control (stationary)")
+    print(format_sweep_table([without, with_is, with_pa]))
+
+    peak = without.peak().throughput
+    heaviest = max(point.offered_load for point in without.points)
+    benchmark.extra_info["offered_loads"] = list(scale.offered_loads)
+    benchmark.extra_info["without_control"] = [round(p.throughput, 2) for p in without.points]
+    benchmark.extra_info["is_control"] = [round(p.throughput, 2) for p in with_is.points]
+    benchmark.extra_info["pa_control"] = [round(p.throughput, 2) for p in with_pa.points]
+    benchmark.extra_info["uncontrolled_peak"] = round(peak, 2)
+
+    # thrashing without control at the heaviest load
+    assert without.throughput_at(heaviest) < 0.85 * peak
+    # both controllers hold the heavy-load throughput near the peak
+    for sweep in (with_is, with_pa):
+        assert sweep.throughput_at(heaviest) > without.throughput_at(heaviest)
+        assert sweep.throughput_at(heaviest) > 0.7 * peak
+    # the controllers are close to each other in the stationary case
+    pa_heavy = with_pa.throughput_at(heaviest)
+    is_heavy = with_is.throughput_at(heaviest)
+    assert abs(pa_heavy - is_heavy) < 0.35 * max(pa_heavy, is_heavy)

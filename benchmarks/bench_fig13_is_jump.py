@@ -1,0 +1,73 @@
+"""Figure 13: trajectory of the Incremental Steps controller under a jump.
+
+The workload changes abruptly mid-run (the number of accesses per
+transaction jumps), which moves the position of the throughput optimum.
+Figure 13 shows the IS threshold trajectory: it reacts quickly but adjusts
+to the new optimum far less accurately than PA (Figure 14).
+
+The benchmark runs the full discrete-event system with the contention-bound
+preset, records the (time, n*) trajectory together with the analytic
+reference optimum, prints the Figure 13 series and reports the tracking
+metrics that the Figure 14 benchmark compares against.
+"""
+
+from conftest import run_once
+
+from repro.core.incremental_steps import IncrementalStepsController
+from repro.experiments.config import contention_bound_params
+from repro.experiments.dynamic import jump_scenario, run_tracking_experiment
+from repro.experiments.report import format_series_table
+from repro.experiments.tracking import compute_tracking_metrics
+
+#: the jump scenario shared by the Figure 13 and Figure 14 benchmarks:
+#: transaction size jumps from 4 to 16 accesses halfway through the run,
+#: which moves the optimum MPL upward by roughly a factor of two
+JUMP_BEFORE = 4
+JUMP_AFTER = 16
+
+
+def build_scenario(scale):
+    return jump_scenario("accesses", JUMP_BEFORE, JUMP_AFTER,
+                         jump_time=scale.tracking_horizon / 2.0)
+
+
+def tracking_params():
+    return contention_bound_params(seed=17)
+
+
+def test_fig13_incremental_steps_jump_trajectory(benchmark, scale):
+    params = tracking_params()
+    scenario = build_scenario(scale)
+    controller = IncrementalStepsController(
+        initial_limit=30, beta=0.5, gamma=8, delta=20, min_step=4.0,
+        lower_bound=4, upper_bound=params.n_terminals)
+
+    def experiment():
+        return run_tracking_experiment(controller, scenario, base_params=params, scale=scale)
+
+    result = run_once(benchmark, experiment)
+    metrics = compute_tracking_metrics(
+        result, disturbance_time=scale.tracking_horizon / 2.0,
+        evaluate_after=scale.tracking_horizon * 0.15)
+
+    print()
+    print("Figure 13 — IS threshold trajectory under an abrupt workload change")
+    print(format_series_table(result, every=max(1, len(result.trace) // 25)))
+    print(f"mean |n* - n_opt| = {metrics.mean_absolute_error:.1f}, "
+          f"settling time = {metrics.settling_time:.1f}s, "
+          f"throughput ratio = {metrics.throughput_ratio:.2f}")
+
+    benchmark.extra_info["threshold_series"] = [
+        (round(t, 2), round(limit, 1)) for t, limit in result.threshold_series()]
+    benchmark.extra_info["reference_series"] = [
+        (round(t, 2), round(opt, 1)) for t, opt in result.reference_series()]
+    benchmark.extra_info["mean_abs_error"] = round(metrics.mean_absolute_error, 2)
+    benchmark.extra_info["settling_time"] = metrics.settling_time
+    benchmark.extra_info["total_commits"] = result.total_commits
+
+    # the trajectory exists, stays within bounds, and work keeps flowing
+    assert len(result.trace) >= 10
+    assert all(4 <= limit <= params.n_terminals for limit in result.trace.limits)
+    assert result.total_commits > 0
+    # the reference optimum genuinely moved at the jump
+    assert max(result.reference_optima) > 1.3 * min(result.reference_optima)

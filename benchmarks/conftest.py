@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Each benchmark regenerates the data series behind one figure of the paper
+(or one ablation called out in DESIGN.md).  The benchmarks are *experiment
+drivers*, not micro-benchmarks: the interesting output is the series they
+print (run ``pytest benchmarks/ --benchmark-only -s``) and attach to the
+pytest-benchmark ``extra_info``; the timing numbers simply document how long
+each experiment takes to reproduce.
+
+Scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``smoke``      -- seconds per experiment, noisy results
+* ``benchmark``  -- the default; a few minutes for the whole suite
+* ``paper``      -- full-size runs approximating the paper's figures
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+
+
+def _selected_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "benchmark").lower()
+    if name == "smoke":
+        return ExperimentScale.smoke()
+    if name == "paper":
+        return ExperimentScale.paper()
+    return ExperimentScale.benchmark()
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The experiment scale selected via REPRO_BENCH_SCALE."""
+    return _selected_scale()
+
+
+def run_once(benchmark, function):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are long-running simulations; repeating them for
+    statistical timing accuracy would multiply the suite's runtime without
+    adding information, so every benchmark uses a single round.
+    """
+    return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Reproduce the Figure 1 / Figure 12 story at the command line.
+
+Sweeps the offered load (number of terminals) over a wide range and measures
+the throughput of three configurations:
+
+* without any load control (the thrashing curve of Figure 1),
+* with the Incremental Steps controller,
+* with the Parabola Approximation controller,
+
+then prints the Figure 12 style table and the analytic model's view of the
+same system for comparison.
+
+Run with:  python examples/thrashing_demo.py [--quick]
+"""
+
+import argparse
+
+from repro.analytic import OccModel, classify_phases, thrashing_onset
+from repro.core import IncrementalStepsController, ParabolaController
+from repro.experiments import (
+    ExperimentScale,
+    default_system_params,
+    format_sweep_table,
+    sweep_offered_load,
+)
+
+
+def is_factory(params):
+    return IncrementalStepsController(
+        initial_limit=10, beta=1.0, gamma=5, delta=10, min_step=2.0,
+        lower_bound=2, upper_bound=params.n_terminals)
+
+
+def pa_factory(params):
+    return ParabolaController(
+        initial_limit=10, forgetting=0.9, probe_amplitude=3.0,
+        lower_bound=2, upper_bound=params.n_terminals)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="use the small smoke-test scale instead of the benchmark scale")
+    arguments = parser.parse_args()
+    scale = ExperimentScale.smoke() if arguments.quick else ExperimentScale.benchmark()
+    params = default_system_params(seed=13)
+
+    print("Measuring the load/throughput curves (this runs full simulations)...\n")
+    without = sweep_offered_load(params, None, scale=scale, label="without control")
+    with_is = sweep_offered_load(params, is_factory, scale=scale, label="IS control")
+    with_pa = sweep_offered_load(params, pa_factory, scale=scale, label="PA control")
+
+    print("Figure 12 — system throughput with and without control (stationary case)")
+    print(format_sweep_table([without, with_is, with_pa]))
+
+    curve = without.curve()
+    phases = classify_phases(curve)
+    onset = thrashing_onset(curve, drop_fraction=0.1)
+    print(f"\nUncontrolled curve: peak {phases.peak_throughput:.1f} txn/s at offered load "
+          f"{phases.optimum_load:.0f}; throughput has dropped by >10% at load {onset:.0f}.")
+
+    model = OccModel(params)
+    optimum = model.optimal_mpl()
+    print(f"Analytic OCC model: optimal multiprogramming level ≈ {optimum:.0f}, "
+          f"predicted peak throughput ≈ {model.throughput(optimum):.1f} txn/s.")
+    print("\nBoth controllers hold the heavy-load throughput near the peak — the")
+    print("'with control' columns stay flat while the uncontrolled column collapses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Reproduce the Figure 13 / Figure 14 story: tracking a workload shift.
+
+The transaction size (number of accessed granules, ``k``) jumps abruptly in
+the middle of the run, which moves the position of the throughput optimum.
+Both adaptive controllers are driven through the same scenario; the script
+prints their threshold trajectories against the analytic reference optimum
+and the tracking metrics that quantify the paper's qualitative comparison
+(IS reacts fast but adjusts poorly, PA is slower but more accurate).
+
+Run with:  python examples/workload_shift_tracking.py [--quick]
+"""
+
+import argparse
+
+from repro.core import IncrementalStepsController, ParabolaController
+from repro.experiments import (
+    ExperimentScale,
+    compute_tracking_metrics,
+    contention_bound_params,
+    format_series_table,
+    jump_scenario,
+    run_tracking_experiment,
+)
+from repro.experiments.report import format_comparison
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="use the small smoke-test scale instead of the benchmark scale")
+    arguments = parser.parse_args()
+    scale = ExperimentScale.smoke() if arguments.quick else ExperimentScale.benchmark()
+
+    params = contention_bound_params(seed=17)
+    jump_time = scale.tracking_horizon / 2.0
+    scenario = jump_scenario("accesses", 4, 16, jump_time)
+
+    controllers = {
+        "IS": IncrementalStepsController(
+            initial_limit=30, beta=0.5, gamma=8, delta=20, min_step=4.0,
+            lower_bound=4, upper_bound=params.n_terminals),
+        "PA": ParabolaController(
+            initial_limit=30, forgetting=0.85, probe_amplitude=6.0, max_move=40.0,
+            lower_bound=4, upper_bound=params.n_terminals),
+    }
+
+    print(f"Transaction size jumps from 4 to 16 accesses at t = {jump_time:.0f}s; "
+          f"horizon {scale.tracking_horizon:.0f}s.\n")
+
+    results = {}
+    metrics = {}
+    for name, controller in controllers.items():
+        print(f"Running the {name} controller through the jump ...")
+        result = run_tracking_experiment(controller, scenario, base_params=params, scale=scale)
+        results[name] = result
+        metrics[name] = compute_tracking_metrics(
+            result, disturbance_time=jump_time,
+            evaluate_after=scale.tracking_horizon * 0.15)
+
+    for name, result in results.items():
+        figure = "13" if name == "IS" else "14"
+        print(f"\nFigure {figure} — {name} threshold trajectory (n* vs the reference optimum):")
+        print(format_series_table(result, every=max(1, len(result.trace) // 20)))
+
+    print("\nTracking comparison (lower error = better tracking):")
+    print(format_comparison(metrics))
+    print("\nThe paper's observation: IS reacts quickly but struggles to settle on the")
+    print("new optimum, while PA takes a few intervals longer (its estimator has to")
+    print("forget the pre-jump measurements) but then tracks the optimum accurately;")
+    print("the residual oscillation of PA is the probing it needs for identifiability.")
+
+
+if __name__ == "__main__":
+    main()

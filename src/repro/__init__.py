@@ -1,0 +1,70 @@
+"""repro — Adaptive Load Control in Transaction Processing Systems.
+
+A reproduction of Heiss & Wagner (VLDB 1991): feedback controllers that
+adapt the multiprogramming level of a transaction processing system so the
+system operates at the peak of its load/throughput curve and never thrashes.
+
+Public API overview
+-------------------
+
+Simulation substrate
+    :class:`repro.sim.Simulator`, :class:`repro.sim.Resource`,
+    :class:`repro.sim.RandomStreams`
+
+Transaction processing model
+    :class:`repro.tp.SystemParams`, :class:`repro.tp.WorkloadParams`,
+    :class:`repro.tp.TransactionSystem`, :class:`repro.tp.Workload`
+
+Concurrency control
+    :class:`repro.cc.TimestampCertification`, :class:`repro.cc.TwoPhaseLocking`
+
+Load control (the paper's contribution)
+    :class:`repro.core.IncrementalStepsController`,
+    :class:`repro.core.ParabolaController`, :class:`repro.core.AdmissionGate`,
+    :class:`repro.core.MeasurementProcess`, plus the static and rule-of-thumb
+    baselines
+
+Analytic models and experiments
+    :class:`repro.analytic.OccModel`, :class:`repro.analytic.TayModel`,
+    :class:`repro.analytic.SyntheticSystem`, and the experiment harness in
+    :mod:`repro.experiments`
+"""
+
+from repro import analytic, cc, core, experiments, sim, tp
+from repro.core import (
+    AdmissionGate,
+    FixedLimit,
+    IncrementalStepsController,
+    IyerRule,
+    LoadController,
+    MeasurementProcess,
+    NoControl,
+    ParabolaController,
+    TayRule,
+)
+from repro.tp import SystemParams, TransactionSystem, Workload, WorkloadParams
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "analytic",
+    "cc",
+    "core",
+    "experiments",
+    "sim",
+    "tp",
+    "AdmissionGate",
+    "FixedLimit",
+    "IncrementalStepsController",
+    "IyerRule",
+    "LoadController",
+    "MeasurementProcess",
+    "NoControl",
+    "ParabolaController",
+    "TayRule",
+    "SystemParams",
+    "TransactionSystem",
+    "Workload",
+    "WorkloadParams",
+    "__version__",
+]

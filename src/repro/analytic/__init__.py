@@ -1,0 +1,36 @@
+"""Analytical models and synthetic test functions.
+
+The paper builds on a line of analytical work (Tay et al. 1985 for locking,
+Dan et al. 1988 and Thomasian & Ryu 1990 for optimistic schemes) that models
+thrashing.  This package provides:
+
+* :mod:`repro.analytic.tay` -- the mean-value blocking model behind Tay's
+  ``k^2 n / D < 1.5`` rule of thumb;
+* :mod:`repro.analytic.occ` -- a fixed-point model of the optimistic
+  (certification) system used in the simulation, giving a fast analytical
+  approximation of the load/throughput curve and its optimum;
+* :mod:`repro.analytic.synthetic` -- the "dynamic optimum search"
+  abstraction of Section 3 / Figure 2 as an explicit, time-varying unimodal
+  performance function with observation noise, used to unit-test and stress
+  the controllers without running the discrete-event model;
+* :mod:`repro.analytic.thrashing` -- helpers for classifying a measured
+  load/throughput curve into the underload / saturation / overload phases
+  of Figure 1 and for locating its optimum.
+"""
+
+from repro.analytic.occ import OccModel
+from repro.analytic.synthetic import DynamicOptimumScenario, SyntheticOverloadFunction, SyntheticSystem
+from repro.analytic.tay import TayModel
+from repro.analytic.thrashing import CurvePhases, classify_phases, find_optimum, thrashing_onset
+
+__all__ = [
+    "OccModel",
+    "TayModel",
+    "SyntheticOverloadFunction",
+    "SyntheticSystem",
+    "DynamicOptimumScenario",
+    "CurvePhases",
+    "classify_phases",
+    "find_optimum",
+    "thrashing_onset",
+]

@@ -1,0 +1,113 @@
+"""Mean-value model of blocking (two-phase locking) systems.
+
+Tay, Goodman & Suri (1985) analyse a closed system of ``n`` transactions,
+each requesting ``k`` locks out of a database of ``D`` granules, and show
+that the mean number of blocked transactions is (to first order) a quadratic
+function of ``n``.  The paper uses two consequences of that analysis:
+
+* thrashing sets in roughly where adding one transaction blocks more than
+  one transaction (``db(n)/dn > 1``);
+* the rule of thumb ``k^2 n / D < 1.5`` for staying clear of thrashing.
+
+The model here follows the standard first-order derivation:
+
+* a transaction holds on average ``k / 2`` locks while it is active;
+* a lock request of one transaction conflicts with a particular other
+  transaction with probability ``(k/2) / D``;
+* with ``n`` transactions, the probability that a request blocks is
+  ``p_block = (n - 1) * k / (2 D)``;
+* each transaction issues ``k`` requests, so the expected number of blocking
+  events per execution is ``k * p_block = k^2 (n - 1) / (2 D)``;
+* the mean number of blocked transactions is approximately the blocking
+  rate times the mean blocking duration, which to first order yields the
+  quadratic ``b(n) ≈ n * k^2 (n - 1) / (2 D) * w`` with ``w`` the fraction
+  of the residence time a blocked transaction waits.
+
+The absolute values of the model are rough (that is exactly the paper's
+argument for feedback control instead of open-loop rules), but the
+qualitative behaviour -- quadratic growth of blocking, a finite optimal
+``n`` -- is what the tests and benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class TayModel:
+    """First-order mean-value model of a closed locking system."""
+
+    #: number of granules in the database (``D``)
+    db_size: int
+    #: locks requested per transaction (``k``)
+    locks_per_txn: int
+    #: mean waiting share: fraction of residence time a blocked txn waits
+    waiting_share: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.db_size < 1:
+            raise ValueError(f"db_size must be >= 1, got {self.db_size}")
+        if self.locks_per_txn < 1:
+            raise ValueError(f"locks_per_txn must be >= 1, got {self.locks_per_txn}")
+        if not 0.0 < self.waiting_share <= 1.0:
+            raise ValueError(f"waiting_share must be in (0, 1], got {self.waiting_share}")
+
+    # ------------------------------------------------------------------
+    def conflict_probability(self, n: float) -> float:
+        """Probability that one lock request blocks, at concurrency ``n``."""
+        if n <= 1:
+            return 0.0
+        p = (n - 1) * self.locks_per_txn / (2.0 * self.db_size)
+        return min(1.0, p)
+
+    def blocking_events_per_txn(self, n: float) -> float:
+        """Expected number of times one execution blocks."""
+        return self.locks_per_txn * self.conflict_probability(n)
+
+    def blocked_transactions(self, n: float) -> float:
+        """Mean number of blocked transactions ``b(n)`` (quadratic in ``n``)."""
+        if n <= 1:
+            return 0.0
+        b = n * self.blocking_events_per_txn(n) * self.waiting_share
+        return min(b, max(0.0, n - 1.0))
+
+    def active_transactions(self, n: float) -> float:
+        """Mean number of transactions actually running: ``a(n) = n - b(n)``."""
+        return max(0.0, n - self.blocked_transactions(n))
+
+    def blocking_derivative(self, n: float, step: float = 1e-3) -> float:
+        """Numerical ``db(n)/dn``; thrashing threatens once this exceeds 1."""
+        return (self.blocked_transactions(n + step) - self.blocked_transactions(n - step)) / (2 * step)
+
+    def critical_mpl(self) -> float:
+        """Concurrency level where ``db(n)/dn`` reaches 1 (thrashing onset).
+
+        For the quadratic first-order model ``b(n) = w k^2 n (n-1) / (2D)``
+        the derivative reaches 1 at ``n = (D / (w k^2)) + 1/2``.
+        """
+        k2 = self.locks_per_txn ** 2
+        return self.db_size / (self.waiting_share * k2) + 0.5
+
+    def rule_of_thumb_mpl(self, margin: float = 1.5) -> float:
+        """The published rule of thumb: ``n`` such that ``k^2 n / D = margin``."""
+        return margin * self.db_size / (self.locks_per_txn ** 2)
+
+    # ------------------------------------------------------------------
+    def throughput_curve(self, levels: Sequence[float], service_rate: float = 1.0) -> list:
+        """Relative throughput at each concurrency level.
+
+        ``service_rate`` is the completion rate of one *active* transaction;
+        the curve is proportional to the number of active (non-blocked)
+        transactions until the physical capacity (not modelled here) caps it.
+        """
+        return [self.active_transactions(n) * service_rate for n in levels]
+
+    def __str__(self) -> str:
+        return (
+            f"TayModel(D={self.db_size}, k={self.locks_per_txn}, "
+            f"critical_mpl={self.critical_mpl():.1f}, "
+            f"rule_of_thumb={self.rule_of_thumb_mpl():.1f})"
+        )

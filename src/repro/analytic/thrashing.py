@@ -1,0 +1,112 @@
+"""Classification of measured load/throughput curves (Figure 1).
+
+Given a measured curve -- a sequence of (load, throughput) points from a
+stationary sweep -- these helpers locate the optimum, detect whether the
+curve exhibits thrashing (a significant drop beyond the optimum) and
+classify each point into the three phases of Figure 1:
+
+* **underload** -- throughput still grows roughly linearly with the load;
+* **saturation** -- throughput has flattened near its maximum;
+* **overload** -- throughput has dropped significantly below the maximum.
+
+The stationary benchmark uses these helpers to report, alongside the raw
+series, the same qualitative facts the paper states about its Figure 12:
+where the optimum lies, and that the uncontrolled system thrashes while the
+controlled one does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CurvePhases:
+    """Phase classification of a stationary load/throughput sweep."""
+
+    #: (load, throughput) points classified as underload (phase I)
+    underload: Tuple[Tuple[float, float], ...]
+    #: points classified as saturation (phase II)
+    saturation: Tuple[Tuple[float, float], ...]
+    #: points classified as overload / thrashing (phase III)
+    overload: Tuple[Tuple[float, float], ...]
+    #: the load at which throughput peaked
+    optimum_load: float
+    #: the peak throughput
+    peak_throughput: float
+
+    @property
+    def has_thrashing(self) -> bool:
+        """True if any point beyond the optimum dropped into overload."""
+        return len(self.overload) > 0
+
+
+def _validated(points: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    if not points:
+        raise ValueError("at least one (load, throughput) point is required")
+    ordered = sorted((float(load), float(value)) for load, value in points)
+    return ordered
+
+
+def find_optimum(points: Sequence[Tuple[float, float]]) -> Tuple[float, float]:
+    """The (load, throughput) point with the highest throughput."""
+    ordered = _validated(points)
+    return max(ordered, key=lambda point: point[1])
+
+
+def thrashing_onset(points: Sequence[Tuple[float, float]],
+                    drop_fraction: float = 0.1) -> float:
+    """Smallest load beyond the optimum where throughput dropped by ``drop_fraction``.
+
+    Returns ``inf`` if the curve never drops that far (no thrashing
+    observed in the measured range).
+    """
+    if not 0.0 < drop_fraction < 1.0:
+        raise ValueError(f"drop_fraction must be in (0, 1), got {drop_fraction}")
+    ordered = _validated(points)
+    optimum_load, peak = find_optimum(ordered)
+    threshold = peak * (1.0 - drop_fraction)
+    for load, value in ordered:
+        if load > optimum_load and value < threshold:
+            return load
+    return float("inf")
+
+
+def classify_phases(points: Sequence[Tuple[float, float]],
+                    saturation_fraction: float = 0.9,
+                    overload_fraction: float = 0.9) -> CurvePhases:
+    """Split a sweep into the underload / saturation / overload phases.
+
+    A point before the optimum is *underload* while its throughput is below
+    ``saturation_fraction`` of the peak and *saturation* otherwise; a point
+    beyond the optimum is *saturation* while it stays above
+    ``overload_fraction`` of the peak and *overload* once it falls below.
+    """
+    if not 0.0 < saturation_fraction <= 1.0:
+        raise ValueError(f"saturation_fraction must be in (0, 1], got {saturation_fraction}")
+    if not 0.0 < overload_fraction <= 1.0:
+        raise ValueError(f"overload_fraction must be in (0, 1], got {overload_fraction}")
+    ordered = _validated(points)
+    optimum_load, peak = find_optimum(ordered)
+    underload: List[Tuple[float, float]] = []
+    saturation: List[Tuple[float, float]] = []
+    overload: List[Tuple[float, float]] = []
+    for load, value in ordered:
+        if load <= optimum_load:
+            if peak > 0 and value < saturation_fraction * peak:
+                underload.append((load, value))
+            else:
+                saturation.append((load, value))
+        else:
+            if peak > 0 and value < overload_fraction * peak:
+                overload.append((load, value))
+            else:
+                saturation.append((load, value))
+    return CurvePhases(
+        underload=tuple(underload),
+        saturation=tuple(saturation),
+        overload=tuple(overload),
+        optimum_load=optimum_load,
+        peak_throughput=peak,
+    )

@@ -1,0 +1,28 @@
+"""Concurrency control schemes.
+
+The paper's simulation uses an optimistic *timestamp certification* scheme
+(Bernstein, Hadzilacos & Goodman 1987) because, for a non-blocking protocol,
+data contention is resolved by additional resource contention (restarts) and
+thrashing emerges naturally once the physical resources saturate.
+
+Two-phase locking with deadlock detection is also provided so that the
+blocking-CC class discussed in Section 1 (and by the Tay/Iyer rules of thumb)
+can be exercised by the same transaction model.
+"""
+
+from repro.cc.base import (
+    AbortReason,
+    ConcurrencyControl,
+    TransactionAborted,
+)
+from repro.cc.timestamp_cert import TimestampCertification
+from repro.cc.two_phase_locking import LockMode, TwoPhaseLocking
+
+__all__ = [
+    "AbortReason",
+    "ConcurrencyControl",
+    "TransactionAborted",
+    "TimestampCertification",
+    "TwoPhaseLocking",
+    "LockMode",
+]

@@ -1,0 +1,90 @@
+"""Common interface for concurrency control schemes.
+
+A concurrency control (CC) scheme observes the data accesses of transactions
+and decides which transactions may commit.  The transaction model drives the
+scheme through five hooks:
+
+``begin``
+    A (new or restarted) transaction execution starts.
+``access``
+    The transaction reads or writes a data granule.  Blocking schemes return
+    a simulation event the caller must wait on (the lock grant); optimistic
+    schemes return ``None`` and merely record the access.  The event may fail
+    with :class:`TransactionAborted` (e.g. a deadlock victim), in which case
+    the transaction must abort its current execution.
+``try_commit``
+    The transaction finished its last phase and asks to commit.  Returns
+    ``True`` (commit) or ``False`` (certification failed; the transaction
+    must abort and restart).
+``finish``
+    Called after a successful commit so the scheme can install writes and
+    release resources.
+``abort``
+    Called whenever an execution is abandoned (certification failure,
+    deadlock victim, displacement) so the scheme can clean up.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.engine import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.tp.transaction import Transaction
+
+
+class AbortReason(enum.Enum):
+    """Why a transaction execution was abandoned."""
+
+    CERTIFICATION = "certification"
+    DEADLOCK = "deadlock"
+    DISPLACEMENT = "displacement"
+
+
+class TransactionAborted(Exception):
+    """Raised into / returned to a transaction whose execution must abort."""
+
+    def __init__(self, reason: AbortReason, detail: str = ""):
+        super().__init__(f"{reason.value}: {detail}" if detail else reason.value)
+        self.reason = reason
+        self.detail = detail
+
+
+class ConcurrencyControl(ABC):
+    """Abstract base class of all concurrency control schemes."""
+
+    #: Human-readable scheme name used in reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def begin(self, txn: "Transaction") -> None:
+        """Register the start of a (possibly re-)execution of ``txn``."""
+
+    @abstractmethod
+    def access(self, txn: "Transaction", item: int, is_write: bool) -> Optional[Event]:
+        """Record/request access to ``item``.
+
+        Returns an event to wait on for blocking schemes, ``None`` otherwise.
+        """
+
+    @abstractmethod
+    def try_commit(self, txn: "Transaction") -> bool:
+        """Certify ``txn``; return True to commit, False to abort+restart."""
+
+    @abstractmethod
+    def finish(self, txn: "Transaction") -> None:
+        """Finalize a committed transaction (install writes, release locks)."""
+
+    @abstractmethod
+    def abort(self, txn: "Transaction", reason: AbortReason) -> None:
+        """Clean up an abandoned execution of ``txn``."""
+
+    def active_count(self) -> int:
+        """Number of executions currently registered (begin without end)."""
+        return 0
+
+    def reset(self) -> None:
+        """Forget all state (used between experiment repetitions)."""

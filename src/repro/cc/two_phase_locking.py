@@ -1,0 +1,293 @@
+"""Strict two-phase locking with waits-for-graph deadlock detection.
+
+The paper distinguishes two classes of concurrency control (Section 1):
+blocking schemes (two-phase locking), for which Tay et al. (1985) derive the
+quadratic blocking behaviour, and non-blocking schemes (timestamp
+certification), which the paper's own simulation uses.  The load control
+algorithms are claimed to be applicable to both classes, so this module
+provides the blocking representative.
+
+Design:
+
+* a lock table maps each granule to its holders (with their modes) and an
+  FCFS queue of waiting requests;
+* shared (S) locks are granted concurrently, exclusive (X) locks require
+  sole ownership; lock upgrades (S -> X) are supported and take priority
+  over waiting requests from other transactions;
+* waiting requests are represented as simulation events so a blocked
+  transaction simply ``yield``s on the grant;
+* a waits-for graph is maintained incrementally; a cycle check runs whenever
+  a transaction blocks, and the *youngest* transaction on the cycle is
+  aborted (its pending request event fails with
+  :class:`~repro.cc.base.TransactionAborted`).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Set
+
+from repro.cc.base import AbortReason, ConcurrencyControl, TransactionAborted
+from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tp.transaction import Transaction
+
+
+class LockMode(enum.Enum):
+    """Lock modes of the strict 2PL scheme."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+@dataclass
+class _LockRequest:
+    """A waiting lock request for one granule."""
+
+    txn_id: int
+    mode: LockMode
+    event: Event
+    cancelled: bool = False
+
+
+@dataclass
+class _LockState:
+    """Holders and waiters of a single granule."""
+
+    holders: Dict[int, LockMode] = field(default_factory=dict)
+    waiters: Deque[_LockRequest] = field(default_factory=deque)
+
+
+class TwoPhaseLocking(ConcurrencyControl):
+    """Strict two-phase locking (blocking CC) with deadlock detection."""
+
+    name = "two-phase-locking"
+
+    def __init__(self, sim: Simulator, victim_policy: str = "youngest"):
+        if victim_policy not in ("youngest", "oldest", "fewest_locks"):
+            raise ValueError(f"unknown victim policy {victim_policy!r}")
+        self.sim = sim
+        self.victim_policy = victim_policy
+        self._locks: Dict[int, _LockState] = {}
+        #: txn_id -> set of granules it currently holds locks on
+        self._held: Dict[int, Set[int]] = {}
+        #: txn_id -> granule it is currently waiting for (at most one)
+        self._waiting_for_item: Dict[int, int] = {}
+        #: txn_id -> start time (for victim selection)
+        self._start_time: Dict[int, float] = {}
+        # statistics
+        self.lock_requests = 0
+        self.lock_waits = 0
+        self.deadlocks = 0
+
+    # ------------------------------------------------------------------
+    # ConcurrencyControl interface
+    # ------------------------------------------------------------------
+    def begin(self, txn: "Transaction") -> None:
+        """Register a fresh execution with no locks held."""
+        self._held.setdefault(txn.txn_id, set())
+        self._start_time[txn.txn_id] = self.sim.now
+
+    def access(self, txn: "Transaction", item: int, is_write: bool) -> Optional[Event]:
+        """Acquire an S or X lock on ``item``; may return a wait event."""
+        mode = LockMode.EXCLUSIVE if is_write else LockMode.SHARED
+        if is_write:
+            txn.write_set.add(item)
+            txn.read_set.add(item)
+        else:
+            txn.read_set.add(item)
+        return self._acquire(txn.txn_id, item, mode)
+
+    def try_commit(self, txn: "Transaction") -> bool:
+        """2PL serializes by blocking: a transaction reaching commit always commits."""
+        return True
+
+    def finish(self, txn: "Transaction") -> None:
+        """Release all locks at commit (strictness)."""
+        self._release_all(txn.txn_id)
+
+    def abort(self, txn: "Transaction", reason: AbortReason) -> None:
+        """Release all locks and withdraw any pending request."""
+        self._cancel_waiting(txn.txn_id)
+        self._release_all(txn.txn_id)
+
+    def active_count(self) -> int:
+        """Transactions currently holding or waiting for locks."""
+        return len([t for t, items in self._held.items() if items]) + len(self._waiting_for_item)
+
+    def reset(self) -> None:
+        """Drop the whole lock table (between experiment repetitions)."""
+        self._locks.clear()
+        self._held.clear()
+        self._waiting_for_item.clear()
+        self._start_time.clear()
+        self.lock_requests = 0
+        self.lock_waits = 0
+        self.deadlocks = 0
+
+    # ------------------------------------------------------------------
+    # lock table mechanics
+    # ------------------------------------------------------------------
+    @property
+    def blocked_count(self) -> int:
+        """Number of transactions currently blocked on a lock."""
+        return len(self._waiting_for_item)
+
+    def holders_of(self, item: int) -> Dict[int, LockMode]:
+        """Current holders of ``item`` (copy)."""
+        state = self._locks.get(item)
+        return dict(state.holders) if state else {}
+
+    def _acquire(self, txn_id: int, item: int, mode: LockMode) -> Optional[Event]:
+        self.lock_requests += 1
+        state = self._locks.setdefault(item, _LockState())
+        held_mode = state.holders.get(txn_id)
+        if held_mode is not None:
+            if held_mode == LockMode.EXCLUSIVE or mode == LockMode.SHARED:
+                return None  # already strong enough
+            # upgrade S -> X: possible immediately iff we are the only holder
+            if len(state.holders) == 1:
+                state.holders[txn_id] = LockMode.EXCLUSIVE
+                return None
+            return self._enqueue(txn_id, item, mode, state)
+        if self._compatible(state, mode):
+            state.holders[txn_id] = mode
+            self._held.setdefault(txn_id, set()).add(item)
+            return None
+        return self._enqueue(txn_id, item, mode, state)
+
+    def _compatible(self, state: _LockState, mode: LockMode) -> bool:
+        if not state.holders:
+            # grant only if no one is already waiting (FCFS, no barging)
+            return not state.waiters
+        if state.waiters:
+            return False
+        if mode == LockMode.SHARED:
+            return all(m == LockMode.SHARED for m in state.holders.values())
+        return False
+
+    def _enqueue(self, txn_id: int, item: int, mode: LockMode, state: _LockState) -> Event:
+        self.lock_waits += 1
+        event = Event(self.sim)
+        state.waiters.append(_LockRequest(txn_id, mode, event))
+        self._waiting_for_item[txn_id] = item
+        victim = self._detect_deadlock(txn_id)
+        if victim is not None:
+            self.deadlocks += 1
+            self._abort_waiter(victim, item_hint=item)
+        return event
+
+    def _release_all(self, txn_id: int) -> None:
+        items = self._held.pop(txn_id, set())
+        self._start_time.pop(txn_id, None)
+        for item in items:
+            state = self._locks.get(item)
+            if state is None:
+                continue
+            state.holders.pop(txn_id, None)
+            self._grant_waiters(item, state)
+            if not state.holders and not state.waiters:
+                del self._locks[item]
+
+    def _grant_waiters(self, item: int, state: _LockState) -> None:
+        while state.waiters:
+            head = state.waiters[0]
+            if head.cancelled:
+                state.waiters.popleft()
+                continue
+            if head.mode == LockMode.EXCLUSIVE:
+                other_holders = [t for t in state.holders if t != head.txn_id]
+                if other_holders:
+                    return
+            else:
+                if any(m == LockMode.EXCLUSIVE for m in state.holders.values()):
+                    return
+            state.waiters.popleft()
+            state.holders[head.txn_id] = head.mode
+            self._held.setdefault(head.txn_id, set()).add(item)
+            self._waiting_for_item.pop(head.txn_id, None)
+            head.event.succeed(head.mode)
+
+    def _cancel_waiting(self, txn_id: int) -> None:
+        item = self._waiting_for_item.pop(txn_id, None)
+        if item is None:
+            return
+        state = self._locks.get(item)
+        if state is None:
+            return
+        for request in state.waiters:
+            if request.txn_id == txn_id and not request.cancelled:
+                request.cancelled = True
+        self._grant_waiters(item, state)
+
+    # ------------------------------------------------------------------
+    # deadlock handling
+    # ------------------------------------------------------------------
+    def _waits_for(self, txn_id: int) -> Set[int]:
+        """Transactions that ``txn_id`` currently waits for."""
+        item = self._waiting_for_item.get(txn_id)
+        if item is None:
+            return set()
+        state = self._locks.get(item)
+        if state is None:
+            return set()
+        blockers = {t for t in state.holders if t != txn_id}
+        # FCFS: also wait for earlier waiters of the same granule
+        for request in state.waiters:
+            if request.txn_id == txn_id:
+                break
+            if not request.cancelled:
+                blockers.add(request.txn_id)
+        return blockers
+
+    def _detect_deadlock(self, start: int) -> Optional[int]:
+        """DFS from ``start`` in the waits-for graph; return a victim or None."""
+        path: list[int] = []
+        on_path: Set[int] = set()
+        visited: Set[int] = set()
+
+        def dfs(node: int) -> Optional[list[int]]:
+            path.append(node)
+            on_path.add(node)
+            for successor in self._waits_for(node):
+                if successor in on_path:
+                    return path[path.index(successor):]
+                if successor not in visited:
+                    cycle = dfs(successor)
+                    if cycle is not None:
+                        return cycle
+            on_path.discard(node)
+            visited.add(node)
+            path.pop()
+            return None
+
+        cycle = dfs(start)
+        if cycle is None:
+            return None
+        return self._select_victim(cycle)
+
+    def _select_victim(self, cycle: list[int]) -> int:
+        if self.victim_policy == "youngest":
+            return max(cycle, key=lambda t: self._start_time.get(t, 0.0))
+        if self.victim_policy == "oldest":
+            return min(cycle, key=lambda t: self._start_time.get(t, 0.0))
+        return min(cycle, key=lambda t: len(self._held.get(t, ())))
+
+    def _abort_waiter(self, txn_id: int, item_hint: int) -> None:
+        """Fail the victim's pending request so its process aborts itself."""
+        item = self._waiting_for_item.get(txn_id, item_hint)
+        state = self._locks.get(item)
+        if state is None:
+            return
+        for request in state.waiters:
+            if request.txn_id == txn_id and not request.cancelled:
+                request.cancelled = True
+                self._waiting_for_item.pop(txn_id, None)
+                request.event.fail(
+                    TransactionAborted(AbortReason.DEADLOCK, f"victim of deadlock on granule {item}")
+                )
+                self._grant_waiters(item, state)
+                return

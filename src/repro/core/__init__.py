@@ -1,0 +1,68 @@
+"""Adaptive load control — the paper's primary contribution.
+
+The package contains everything needed to close the feedback loop of
+Figure 5 in the paper:
+
+* :class:`~repro.core.admission.AdmissionGate` -- the "gate" in front of the
+  transaction processing system: admits an arriving transaction only while
+  the actual load ``n`` is below the current threshold ``n*``; otherwise the
+  transaction waits in an FCFS queue.
+* :class:`~repro.core.measurement.MeasurementProcess` -- samples the system
+  every measurement interval, builds an
+  :class:`~repro.core.types.IntervalMeasurement`, feeds it to a controller
+  and enforces the new threshold.
+* Controllers:
+
+  - :class:`~repro.core.incremental_steps.IncrementalStepsController` (IS,
+    Section 4.1),
+  - :class:`~repro.core.parabola.ParabolaController` (PA, Section 4.2),
+  - :class:`~repro.core.static.NoControl`,
+    :class:`~repro.core.static.FixedLimit` (the Section 1 alternatives),
+  - :class:`~repro.core.rules.TayRule`, :class:`~repro.core.rules.IyerRule`
+    (the "theoretically derived rules of thumb" of Section 1).
+
+* :class:`~repro.core.displacement.DisplacementPolicy` -- the optional
+  enforcement of a lowered threshold by aborting active transactions
+  (Section 4.3).
+* :class:`~repro.core.outer_loop.MeasurementIntervalTuner` -- the "overlaid,
+  outer control loop" of Section 5 that adapts the measurement interval.
+"""
+
+from repro.core.admission import AdmissionGate
+from repro.core.controller import (
+    LoadController,
+    effective_utilisation_index,
+    inverse_response_time_index,
+    throughput_index,
+)
+from repro.core.displacement import DisplacementPolicy, VictimCriterion
+from repro.core.incremental_steps import IncrementalStepsController
+from repro.core.measurement import MeasurementProcess
+from repro.core.outer_loop import MeasurementIntervalTuner
+from repro.core.parabola import ParabolaController, RecoveryPolicy
+from repro.core.rls import RecursiveLeastSquares
+from repro.core.rules import IyerRule, TayRule
+from repro.core.static import FixedLimit, NoControl
+from repro.core.types import ControlTrace, IntervalMeasurement
+
+__all__ = [
+    "AdmissionGate",
+    "LoadController",
+    "throughput_index",
+    "effective_utilisation_index",
+    "inverse_response_time_index",
+    "DisplacementPolicy",
+    "VictimCriterion",
+    "IncrementalStepsController",
+    "MeasurementProcess",
+    "MeasurementIntervalTuner",
+    "ParabolaController",
+    "RecoveryPolicy",
+    "RecursiveLeastSquares",
+    "TayRule",
+    "IyerRule",
+    "FixedLimit",
+    "NoControl",
+    "IntervalMeasurement",
+    "ControlTrace",
+]

@@ -1,0 +1,141 @@
+"""Admission control gate (Section 4.3, Figure 5).
+
+"The admission to the transaction processing system is controlled by a
+'gate' that accepts an arriving transaction if and only if the actual load
+``n`` is below the current threshold ``n*``.  Otherwise the transaction has
+to wait in a FCFS queue.  Waiting transactions are admitted as soon as
+``n < n*`` holds again."
+
+The gate is the single point where the concurrency level is defined: a
+transaction counts against ``n`` from the moment it is admitted until it
+departs (commits or is displaced), *including* all restarted executions in
+between — a restart does not go back through the gate, which matches the
+paper's model where the load ``n`` is the number of transactions inside the
+processing system.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional, Tuple
+
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.stats import TimeWeightedStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tp.transaction import Transaction
+
+
+class AdmissionGate:
+    """FCFS admission queue in front of the transaction processing system."""
+
+    def __init__(self, sim: Simulator, initial_limit: float = math.inf,
+                 name: str = "admission-gate"):
+        if initial_limit < 1:
+            raise ValueError(f"initial_limit must be >= 1, got {initial_limit}")
+        self.sim = sim
+        self.name = name
+        self._limit = float(initial_limit)
+        self._admitted: set[int] = set()
+        self._waiting: Deque[Tuple["Transaction", Event]] = deque()
+        # time-weighted statistics of the in-system load and the queue
+        self.load_stats = TimeWeightedStats(sim.now, 0.0)
+        self.queue_stats = TimeWeightedStats(sim.now, 0.0)
+        self.total_admitted = 0
+        self.total_departed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def limit(self) -> float:
+        """The current threshold ``n*``."""
+        return self._limit
+
+    @property
+    def current_load(self) -> int:
+        """The actual load ``n``: transactions admitted and not yet departed."""
+        return len(self._admitted)
+
+    @property
+    def queue_length(self) -> int:
+        """Transactions waiting in front of the gate."""
+        return len(self._waiting)
+
+    # ------------------------------------------------------------------
+    def set_limit(self, new_limit: float) -> None:
+        """Install a new threshold and admit waiters if it increased.
+
+        Lowering the threshold below the current load does *not* evict
+        admitted transactions; that is the job of the (optional) displacement
+        policy.  Admission control alone "was responsive enough to prevent
+        thrashing even with dramatically changing workloads" (Section 4.3).
+        """
+        if new_limit < 1:
+            raise ValueError(f"limit must be >= 1, got {new_limit}")
+        self._limit = float(new_limit)
+        self._admit_waiters()
+
+    def submit(self, txn: "Transaction") -> Event:
+        """Ask for admission; the returned event succeeds when admitted."""
+        event = Event(self.sim)
+        if self.current_load < self._limit and not self._waiting:
+            self._admit(txn, event)
+        else:
+            self._waiting.append((txn, event))
+            self.queue_stats.update(self.sim.now, len(self._waiting))
+        return event
+
+    def depart(self, txn: "Transaction") -> None:
+        """A transaction left the system (commit or displacement)."""
+        if txn.txn_id not in self._admitted:
+            raise SimulationError(
+                f"transaction {txn.txn_id} departed without having been admitted"
+            )
+        self._admitted.discard(txn.txn_id)
+        self.total_departed += 1
+        self.load_stats.update(self.sim.now, len(self._admitted))
+        self._admit_waiters()
+
+    def cancel(self, txn: "Transaction") -> bool:
+        """Withdraw a waiting transaction (e.g. simulation shutdown).
+
+        Returns True if the transaction was waiting and has been removed.
+        """
+        for index, (waiting_txn, event) in enumerate(self._waiting):
+            if waiting_txn.txn_id == txn.txn_id:
+                del self._waiting[index]
+                self.queue_stats.update(self.sim.now, len(self._waiting))
+                if not event.triggered:
+                    event.fail(SimulationError("admission request cancelled"))
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _admit(self, txn: "Transaction", event: Event) -> None:
+        self._admitted.add(txn.txn_id)
+        self.total_admitted += 1
+        txn.admitted_at = self.sim.now
+        self.load_stats.update(self.sim.now, len(self._admitted))
+        event.succeed(txn)
+
+    def _admit_waiters(self) -> None:
+        while self._waiting and self.current_load < self._limit:
+            txn, event = self._waiting.popleft()
+            self.queue_stats.update(self.sim.now, len(self._waiting))
+            self._admit(txn, event)
+
+    # ------------------------------------------------------------------
+    def mean_load(self, until: Optional[float] = None) -> float:
+        """Time-averaged in-system load since the last statistics reset."""
+        return self.load_stats.mean(until if until is not None else self.sim.now)
+
+    def reset_statistics(self) -> None:
+        """Restart the time-weighted averages (end of warm-up or interval)."""
+        self.load_stats.reset(self.sim.now)
+        self.queue_stats.reset(self.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AdmissionGate limit={self._limit:.1f} load={self.current_load} "
+            f"queued={self.queue_length}>"
+        )

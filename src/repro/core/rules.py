@@ -1,0 +1,106 @@
+"""Theoretically derived "rules of thumb" (Section 1, option 3).
+
+The paper contrasts its feedback approach with two published static criteria
+for avoiding thrashing in *blocking* (locking) systems:
+
+* **Tay's rule** (Tay, Goodman & Suri 1985): keep ``k^2 * n / D < 1.5``,
+  where ``k`` is the number of items accessed per transaction, ``n`` the
+  concurrency level and ``D`` the database size.  Solved for ``n`` this
+  gives a threshold ``n* = 1.5 * D / k^2``.
+* **Iyer's rule** (Iyer 1988): the mean number of conflicts per transaction
+  should not exceed 0.75.
+
+Tay's rule is an *open-loop* bound: it needs to know the current ``k`` and
+``D`` and trusts the model behind the 1.5 constant.  Iyer's rule is
+implemented as a simple feedback comparator: raise the threshold while the
+measured conflict rate is below the target, lower it when the target is
+exceeded.  Both serve as baselines that the adaptive IS/PA controllers are
+compared against in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.controller import LoadController
+from repro.core.types import IntervalMeasurement
+
+
+class TayRule(LoadController):
+    """Static threshold ``n* = margin * D / k^2`` from Tay et al. (1985)."""
+
+    name = "tay-rule"
+
+    def __init__(self, db_size: int, accesses_per_txn: int, margin: float = 1.5,
+                 lower_bound: float = 1.0, upper_bound: float = math.inf,
+                 track_measured_k: bool = True):
+        """Create the rule-based controller.
+
+        With ``track_measured_k=True`` the rule re-evaluates itself using the
+        mean transaction size observed in each interval (the best a DBA could
+        do by monitoring); with ``False`` it stays at the value computed from
+        the configured ``accesses_per_txn``, modelling a bound tuned once at
+        installation time.
+        """
+        if db_size < 1:
+            raise ValueError(f"db_size must be >= 1, got {db_size}")
+        if accesses_per_txn < 1:
+            raise ValueError(f"accesses_per_txn must be >= 1, got {accesses_per_txn}")
+        if margin <= 0:
+            raise ValueError(f"margin must be positive, got {margin}")
+        self.db_size = int(db_size)
+        self.configured_k = int(accesses_per_txn)
+        self.margin = float(margin)
+        self.track_measured_k = bool(track_measured_k)
+        initial = self.threshold_for(self.configured_k)
+        super().__init__(initial_limit=initial, lower_bound=lower_bound, upper_bound=upper_bound)
+
+    def threshold_for(self, accesses_per_txn: float) -> float:
+        """The rule's threshold for a given transaction size ``k``."""
+        k = max(1.0, float(accesses_per_txn))
+        return self.margin * self.db_size / (k * k)
+
+    def _propose(self, measurement: IntervalMeasurement) -> float:
+        if self.track_measured_k and measurement.mean_accesses_per_txn:
+            return self.threshold_for(measurement.mean_accesses_per_txn)
+        return self.threshold_for(self.configured_k)
+
+
+class IyerRule(LoadController):
+    """Keep the measured conflicts per transaction at or below a target."""
+
+    name = "iyer-rule"
+
+    def __init__(self, target_conflicts: float = 0.75, step: float = 2.0,
+                 initial_limit: float = 10.0, lower_bound: float = 1.0,
+                 upper_bound: float = math.inf, deadband: float = 0.1):
+        """Create the rule-based feedback comparator.
+
+        ``deadband`` (as a fraction of the target) avoids oscillation when
+        the measured conflict rate hovers around the target.
+        """
+        if target_conflicts <= 0:
+            raise ValueError(f"target_conflicts must be positive, got {target_conflicts}")
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        if deadband < 0:
+            raise ValueError(f"deadband must be non-negative, got {deadband}")
+        super().__init__(initial_limit=initial_limit, lower_bound=lower_bound,
+                         upper_bound=upper_bound)
+        self.target_conflicts = float(target_conflicts)
+        self.step = float(step)
+        self.deadband = float(deadband)
+
+    def _propose(self, measurement: IntervalMeasurement) -> float:
+        conflicts = measurement.conflicts_per_commit
+        high = self.target_conflicts * (1.0 + self.deadband)
+        low = self.target_conflicts * (1.0 - self.deadband)
+        if conflicts > high:
+            # proportional back-off: the further above the target, the harder
+            # the threshold is pulled down
+            excess = min(4.0, conflicts / self.target_conflicts)
+            return self.current_limit - self.step * excess
+        if conflicts < low:
+            return self.current_limit + self.step
+        return self.current_limit

@@ -1,0 +1,45 @@
+"""Static (non-adaptive) load-control baselines.
+
+Section 1 of the paper lists the alternatives to feedback control:
+
+1. *Do nothing* -- :class:`NoControl`: the threshold is effectively
+   infinite, every arriving transaction is admitted immediately.  This is
+   the configuration that exhibits thrashing and produces the "without
+   control" curve of Figure 12.
+2. *Fixed upper bound* -- :class:`FixedLimit`: the threshold is a constant
+   chosen by the administrator.  Works only while the workload matches the
+   assumption under which the constant was tuned.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.controller import LoadController
+from repro.core.types import IntervalMeasurement
+
+
+class NoControl(LoadController):
+    """Admit everything; the system is left to thrash (Section 1, option 1)."""
+
+    name = "no-control"
+
+    def __init__(self, upper_bound: float = math.inf):
+        super().__init__(initial_limit=upper_bound, lower_bound=1.0, upper_bound=upper_bound)
+
+    def _propose(self, measurement: IntervalMeasurement) -> float:
+        return self.upper_bound
+
+
+class FixedLimit(LoadController):
+    """Constant administrator-chosen threshold (Section 1, option 2)."""
+
+    name = "fixed-limit"
+
+    def __init__(self, limit: float, lower_bound: float = 1.0,
+                 upper_bound: float = math.inf):
+        super().__init__(initial_limit=limit, lower_bound=lower_bound, upper_bound=upper_bound)
+        self.limit = self.clamp(float(limit))
+
+    def _propose(self, measurement: IntervalMeasurement) -> float:
+        return self.limit

@@ -1,0 +1,94 @@
+"""Plain-text tables for experiment results.
+
+The benchmarks and examples print the same series the paper's figures show;
+these helpers format them as fixed-width text tables so ``pytest -s`` output
+and example scripts are readable without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 float_format: str = "{:.2f}") -> str:
+    """Format ``rows`` as a fixed-width table with ``headers``."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_sweep_table(sweeps: Sequence, loads: Optional[Sequence[int]] = None) -> str:
+    """Tabulate one or more stationary sweeps side by side (Figure 12 style).
+
+    ``sweeps`` are :class:`~repro.experiments.stationary.StationarySweep`
+    objects; the table has one row per offered load and one throughput
+    column per sweep.
+    """
+    if not sweeps:
+        raise ValueError("at least one sweep is required")
+    if loads is None:
+        loads = sorted({point.offered_load for sweep in sweeps for point in sweep.points})
+    headers = ["offered load"] + [f"T ({sweep.label})" for sweep in sweeps]
+    rows = []
+    for load in loads:
+        row: List[object] = [load]
+        for sweep in sweeps:
+            try:
+                row.append(sweep.throughput_at(load))
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_series_table(result, every: int = 1) -> str:
+    """Tabulate a tracking run (Figure 13/14 style): t, n*, n_opt, n, T.
+
+    ``result`` is a :class:`~repro.experiments.dynamic.TrackingResult`;
+    ``every`` subsamples the rows to keep the table short.
+    """
+    if every < 1:
+        raise ValueError(f"every must be >= 1, got {every}")
+    headers = ["time", "n* (threshold)", "n_opt (reference)", "n (load)", "throughput"]
+    rows = []
+    series = list(zip(result.trace.times, result.trace.limits,
+                      result.reference_optima, result.trace.concurrency,
+                      result.trace.throughput))
+    for index, (sample_time, limit, optimum, load, throughput) in enumerate(series):
+        if index % every:
+            continue
+        rows.append([sample_time, limit, optimum, load, throughput])
+    return format_table(headers, rows)
+
+
+def format_comparison(metrics_by_controller: Dict[str, object]) -> str:
+    """Tabulate tracking metrics per controller (IS vs PA comparison)."""
+    headers = ["controller", "mean |err|", "max |err|", "settling time", "throughput ratio"]
+    rows = []
+    for name, metrics in metrics_by_controller.items():
+        rows.append([
+            name,
+            metrics.mean_absolute_error,
+            metrics.max_absolute_error,
+            metrics.settling_time,
+            metrics.throughput_ratio,
+        ])
+    return format_table(headers, rows)

@@ -1,0 +1,161 @@
+"""Stationary experiments: the load/throughput curves of Figures 1 and 12.
+
+Two questions are answered per offered load ``N`` (number of terminals):
+
+* *without control* -- what throughput does the system reach when every
+  arriving transaction is admitted immediately?  (Figure 1 / the "without
+  control" curve of Figure 12: throughput rises, saturates, then drops.)
+* *with control* -- what throughput does the same system reach when a load
+  controller (IS or PA) adjusts the admission threshold?  (The "with
+  control" curve of Figure 12: throughput stays at the optimum level for
+  every offered load.)
+
+:func:`run_stationary_point` runs one (offered load, controller) cell;
+:func:`sweep_offered_load` produces the whole curve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analytic.occ import OccModel
+from repro.core.controller import LoadController
+from repro.core.measurement import MeasurementProcess
+from repro.experiments.config import ExperimentScale, default_system_params
+from repro.tp.params import SystemParams
+from repro.tp.system import TransactionSystem
+
+#: a factory producing a fresh controller for each run (controllers keep state)
+ControllerFactory = Callable[[SystemParams], LoadController]
+
+
+@dataclass(frozen=True)
+class StationaryPoint:
+    """Result of one stationary run at a fixed offered load."""
+
+    #: offered load: number of terminals
+    offered_load: int
+    #: committed transactions per second over the measured horizon
+    throughput: float
+    #: mean submission-to-commit latency
+    mean_response_time: float
+    #: time-averaged number of admitted transactions
+    mean_concurrency: float
+    #: abandoned executions per commit
+    restart_ratio: float
+    #: CPU utilisation over the measured horizon
+    cpu_utilisation: float
+    #: threshold in effect at the end of the run (inf without control)
+    final_limit: float
+    #: commits observed (statistical weight of the point)
+    commits: int
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """The (load, throughput) pair used by the curve helpers."""
+        return (float(self.offered_load), self.throughput)
+
+
+@dataclass
+class StationarySweep:
+    """A whole load/throughput curve plus the analytic reference."""
+
+    label: str
+    points: List[StationaryPoint] = field(default_factory=list)
+    #: analytic (model) throughput at each offered load, for comparison
+    model_reference: Dict[int, float] = field(default_factory=dict)
+
+    def curve(self) -> List[Tuple[float, float]]:
+        """The (load, throughput) series in offered-load order."""
+        return [point.as_tuple() for point in sorted(self.points, key=lambda p: p.offered_load)]
+
+    def peak(self) -> StationaryPoint:
+        """The point with the highest throughput."""
+        if not self.points:
+            raise ValueError("the sweep contains no points")
+        return max(self.points, key=lambda point: point.throughput)
+
+    def throughput_at(self, offered_load: int) -> float:
+        """Throughput measured at a specific offered load."""
+        for point in self.points:
+            if point.offered_load == offered_load:
+                return point.throughput
+        raise KeyError(f"no point at offered load {offered_load}")
+
+
+def run_stationary_point(params: SystemParams,
+                         controller_factory: Optional[ControllerFactory] = None,
+                         horizon: float = 30.0,
+                         warmup: float = 5.0,
+                         measurement_interval: float = 2.0) -> StationaryPoint:
+    """Run one stationary simulation and summarise it.
+
+    With ``controller_factory=None`` the system runs uncontrolled (every
+    transaction admitted immediately); otherwise the factory's controller is
+    attached with the given measurement interval.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be non-negative, got {warmup}")
+    system = TransactionSystem(params)
+    measurement: Optional[MeasurementProcess] = None
+    if controller_factory is not None:
+        controller = controller_factory(params)
+        measurement = system.attach_controller(
+            controller, interval=measurement_interval, warmup=min(warmup, 1.0)
+        )
+    system.start()
+    system.run(until=warmup)
+    # discard the warm-up transient
+    system.metrics.reset()
+    system.cpus.reset_statistics()
+    system.gate.reset_statistics()
+    measured_from = system.sim.now
+    system.run(until=warmup + horizon)
+
+    metrics = system.metrics
+    return StationaryPoint(
+        offered_load=params.n_terminals,
+        throughput=metrics.throughput(since=measured_from),
+        mean_response_time=metrics.mean_response_time(),
+        mean_concurrency=system.gate.mean_load(),
+        restart_ratio=metrics.restart_ratio,
+        cpu_utilisation=system.cpus.utilisation(since=measured_from),
+        final_limit=system.gate.limit,
+        commits=metrics.commits,
+    )
+
+
+def sweep_offered_load(base_params: Optional[SystemParams] = None,
+                       controller_factory: Optional[ControllerFactory] = None,
+                       scale: Optional[ExperimentScale] = None,
+                       label: Optional[str] = None,
+                       include_model_reference: bool = True) -> StationarySweep:
+    """Measure the load/throughput curve over the scale's offered loads."""
+    scale = scale or ExperimentScale.benchmark()
+    base_params = base_params or default_system_params()
+    if label is None:
+        label = "without control" if controller_factory is None else "with control"
+    sweep = StationarySweep(label=label)
+    for offered_load in scale.offered_loads:
+        params = base_params.with_changes(n_terminals=int(offered_load))
+        point = run_stationary_point(
+            params,
+            controller_factory=controller_factory,
+            horizon=scale.stationary_horizon,
+            warmup=scale.warmup,
+            measurement_interval=scale.measurement_interval,
+        )
+        sweep.points.append(point)
+        if include_model_reference:
+            model = OccModel(params)
+            # the uncontrolled system operates near the offered load, the
+            # controlled one near the model's optimum
+            if controller_factory is None:
+                reference_mpl = float(offered_load)
+            else:
+                reference_mpl = model.optimal_mpl()
+            sweep.model_reference[int(offered_load)] = model.throughput(reference_mpl)
+    return sweep

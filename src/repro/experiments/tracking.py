@@ -1,0 +1,123 @@
+"""Tracking-error metrics for the dynamic experiments.
+
+Figures 13 and 14 are judged qualitatively in the paper ("IS reacts very
+quickly ... but has serious problems to adjust correctly", "PA needs some
+more time to respond but tracks the optimum more accurately and reliably").
+To make the comparison quantitative and testable, this module condenses a
+:class:`~repro.experiments.dynamic.TrackingResult` into a handful of
+numbers:
+
+* the mean and maximum absolute tracking error |n*(t) - n_opt(t)|,
+  optionally restricted to the settled period after a jump;
+* the settling time after a jump: how long until the threshold stays within
+  a tolerance band around the new optimum;
+* the achieved throughput relative to the reference peak (how much useful
+  work the controller's choices cost).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.experiments.dynamic import TrackingResult
+
+
+@dataclass(frozen=True)
+class TrackingMetrics:
+    """Summary statistics of how well a controller tracked the optimum."""
+
+    #: mean |n* - n_opt| over the evaluated window
+    mean_absolute_error: float
+    #: maximum |n* - n_opt| over the evaluated window
+    max_absolute_error: float
+    #: mean |n* - n_opt| / n_opt (relative error)
+    mean_relative_error: float
+    #: time from the disturbance until the threshold settles near the optimum
+    settling_time: float
+    #: mean measured throughput divided by the mean reference peak
+    throughput_ratio: float
+    #: number of samples evaluated
+    samples: int
+
+
+def compute_tracking_metrics(result: TrackingResult,
+                             disturbance_time: Optional[float] = None,
+                             settle_tolerance: float = 0.25,
+                             evaluate_after: float = 0.0) -> TrackingMetrics:
+    """Compute tracking metrics from a dynamic run.
+
+    ``disturbance_time`` is the instant of the jump (for settling-time
+    computation); ``settle_tolerance`` is the width of the acceptance band
+    around the optimum as a fraction of the optimum; ``evaluate_after``
+    drops the initial transient from the error statistics (the controllers
+    start from an arbitrary threshold, as in the paper's experiments).
+    """
+    if not 0.0 < settle_tolerance < 1.0:
+        raise ValueError(f"settle_tolerance must be in (0, 1), got {settle_tolerance}")
+    times = result.trace.times
+    limits = result.trace.limits
+    optima = result.reference_optima
+    if not times or len(times) != len(optima):
+        raise ValueError("the tracking result has no usable (time, optimum) series")
+
+    absolute_errors = []
+    relative_errors = []
+    for sample_time, limit, optimum in zip(times, limits, optima):
+        if sample_time < evaluate_after:
+            continue
+        error = abs(limit - optimum)
+        absolute_errors.append(error)
+        relative_errors.append(error / optimum if optimum > 0 else math.inf)
+
+    if not absolute_errors:
+        raise ValueError("evaluate_after excludes every sample of the run")
+
+    settling_time = _settling_time(times, limits, optima, disturbance_time, settle_tolerance)
+    throughput_ratio = _throughput_ratio(result, evaluate_after)
+
+    return TrackingMetrics(
+        mean_absolute_error=sum(absolute_errors) / len(absolute_errors),
+        max_absolute_error=max(absolute_errors),
+        mean_relative_error=sum(relative_errors) / len(relative_errors),
+        settling_time=settling_time,
+        throughput_ratio=throughput_ratio,
+        samples=len(absolute_errors),
+    )
+
+
+def _settling_time(times: Sequence[float], limits: Sequence[float],
+                   optima: Sequence[float], disturbance_time: Optional[float],
+                   tolerance: float) -> float:
+    """Time from the disturbance until the threshold stays inside the band."""
+    if disturbance_time is None:
+        return 0.0
+    settled_at: Optional[float] = None
+    for sample_time, limit, optimum in zip(times, limits, optima):
+        if sample_time < disturbance_time:
+            continue
+        band = tolerance * optimum if optimum > 0 else tolerance
+        inside = abs(limit - optimum) <= band
+        if inside and settled_at is None:
+            settled_at = sample_time
+        elif not inside:
+            settled_at = None
+    if settled_at is None:
+        return math.inf
+    return settled_at - disturbance_time
+
+
+def _throughput_ratio(result: TrackingResult, evaluate_after: float) -> float:
+    """Measured throughput relative to the reference peak (1.0 = ideal)."""
+    measured = []
+    reference = []
+    for sample_time, throughput, peak in zip(
+            result.trace.times, result.trace.throughput, result.reference_peaks):
+        if sample_time < evaluate_after:
+            continue
+        measured.append(throughput)
+        reference.append(peak)
+    if not measured or not reference or sum(reference) == 0:
+        return 0.0
+    return (sum(measured) / len(measured)) / (sum(reference) / len(reference))

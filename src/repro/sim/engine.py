@@ -1,0 +1,468 @@
+"""Process-based discrete-event simulation engine.
+
+The engine follows the classic event/process design used by SimPy:
+
+* A :class:`Simulator` owns the clock and a priority queue of scheduled
+  events.
+* An :class:`Event` is a one-shot object that is *triggered* (succeeded or
+  failed) and later *processed*, at which point its callbacks run.
+* A :class:`Process` wraps a generator.  The generator yields events; the
+  process resumes when the yielded event is processed.  The value of the
+  event is sent into the generator (or, for failed events, the exception is
+  thrown into it).
+* Processes can be interrupted from the outside with
+  :meth:`Process.interrupt`, which raises :class:`Interrupt` inside the
+  generator at the current simulation time.  This is how the transaction
+  model implements displacement (aborting an active transaction).
+
+The engine is deliberately small but complete enough to express the closed
+transaction processing model of the paper: FCFS resources, timeouts,
+interrupts and process completion events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop the event loop early."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    The ``cause`` attribute carries the object passed to
+    :meth:`Process.interrupt` and usually explains why the process was
+    interrupted (e.g. a displacement decision by the load controller).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessKilled(Exception):
+    """Failure value used for the completion event of a killed process."""
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event has three observable states:
+
+    * *pending* -- created but not yet triggered;
+    * *triggered* -- a value (or exception) has been set and the event has
+      been scheduled on the simulator's queue;
+    * *processed* -- the simulator has popped the event and executed its
+      callbacks.
+
+    Callbacks are callables of one argument (the event itself).  They run in
+    the order they were appended.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the event queue."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The success value of the event.
+
+        Raises the failure exception if the event failed, and
+        :class:`SimulationError` if the event has not been triggered yet.
+        """
+        if not self._triggered:
+            raise SimulationError("event value read before the event was triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or ``None`` if the event succeeded."""
+        return self._exception
+
+    # ------------------------------------------------------------------
+    # triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._value = value
+        self._triggered = True
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() expects an exception instance, got {exception!r}")
+        self._exception = exception
+        self._triggered = True
+        self.sim._schedule(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (still at the current simulation time).
+        """
+        if self._processed or self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        if self.callbacks and callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"timeout delay must be non-negative, got {delay}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._value = value
+        self._triggered = True
+        sim._schedule(self, delay=self.delay)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process itself is an event: it is triggered when the generator
+    terminates (the generator's return value becomes the event value) and it
+    can therefore be waited on by other processes (``yield some_process``).
+    """
+
+    __slots__ = ("generator", "name", "_target", "_resume_callback")
+
+    def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any],
+                 name: Optional[str] = None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                "Process expects a generator (did you forget to call the "
+                f"process function?), got {generator!r}"
+            )
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._resume_callback = self._resume
+        # Kick the process off at the current time.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume_callback)
+        bootstrap.succeed(None)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a process that has already finished is an error; callers
+        should check :attr:`is_alive` first.  The event the process is
+        currently waiting on is abandoned (its callbacks no longer include
+        this process).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt terminated process {self.name!r}")
+        target = self._target
+        if target is not None:
+            target.remove_callback(self._resume_callback)
+            self._target = None
+        wakeup = Event(self.sim)
+        wakeup.add_callback(self._resume_callback)
+        wakeup.fail(Interrupt(cause))
+
+    def kill(self, cause: Any = None) -> None:
+        """Terminate the process without running any more of its code.
+
+        Unlike :meth:`interrupt`, the generator gets no chance to handle the
+        termination; its completion event fails with :class:`ProcessKilled`.
+        Used for hard shutdown of the simulation world in tests.
+        """
+        if not self.is_alive:
+            return
+        target = self._target
+        if target is not None:
+            target.remove_callback(self._resume_callback)
+            self._target = None
+        self.generator.close()
+        self.fail(ProcessKilled(cause))
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self._target = None
+        self.sim._active_process = self
+        try:
+            if event._exception is None:
+                next_target = self.generator.send(event._value)
+            else:
+                next_target = self.generator.throw(event._exception)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except Interrupt as unhandled:
+            # The process chose not to handle an interrupt: treat as failure.
+            self.sim._active_process = None
+            if not self._triggered:
+                self.fail(unhandled)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            if not self._triggered:
+                self.fail(exc)
+            if not isinstance(exc, Exception):  # re-raise KeyboardInterrupt etc.
+                raise
+            if self.sim.raise_process_errors:
+                raise
+            return
+        finally:
+            if self.sim._active_process is self:
+                self.sim._active_process = None
+
+        if not isinstance(next_target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {next_target!r}; processes must yield Event objects"
+            )
+            self.generator.close()
+            self.fail(error)
+            if self.sim.raise_process_errors:
+                raise error
+            return
+        if next_target.sim is not self.sim:
+            error = SimulationError(
+                f"process {self.name!r} yielded an event bound to a different simulator"
+            )
+            self.generator.close()
+            self.fail(error)
+            if self.sim.raise_process_errors:
+                raise error
+            return
+        self._target = next_target
+        next_target.add_callback(self._resume_callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._triggered else "alive"
+        return f"<Process {self.name!r} {state} at t={self.sim.now:.6g}>"
+
+
+class Condition(Event):
+    """An event that succeeds when all (or any) of its children succeed.
+
+    Only the two standard combinators are provided; they are sufficient for
+    the transaction model (e.g. waiting for a lock grant *or* an abort
+    signal).
+    """
+
+    __slots__ = ("events", "mode", "_pending")
+
+    ALL = "all"
+    ANY = "any"
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], mode: str):
+        super().__init__(sim)
+        self.events = list(events)
+        if mode not in (self.ALL, self.ANY):
+            raise ValueError(f"mode must be 'all' or 'any', got {mode!r}")
+        self.mode = mode
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for child in self.events:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            return
+        if child._exception is not None:
+            self.fail(child._exception)
+            return
+        self._pending -= 1
+        if self.mode == self.ANY or self._pending == 0:
+            self.succeed({e: e._value for e in self.events if e._triggered and e.ok})
+
+
+class Simulator:
+    """The discrete-event simulation executive.
+
+    Responsibilities:
+
+    * maintain the simulation clock (:attr:`now`);
+    * maintain the pending-event queue ordered by (time, priority, sequence);
+    * run events and their callbacks in deterministic order;
+    * provide factory helpers (:meth:`timeout`, :meth:`process`,
+      :meth:`event`) so user code never touches the queue directly.
+
+    The executive is single-threaded and deterministic: two runs with the
+    same seeds produce identical traces.
+    """
+
+    def __init__(self, start_time: float = 0.0, raise_process_errors: bool = True):
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+        #: If True (default), exceptions escaping a process propagate out of
+        #: :meth:`run`; if False they are recorded on the process completion
+        #: event only.
+        self.raise_process_errors = raise_process_errors
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    @property
+    def queue_length(self) -> int:
+        """Number of triggered-but-unprocessed events."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        """Event that succeeds when all ``events`` have succeeded."""
+        return Condition(self, events, Condition.ALL)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        """Event that succeeds when any of ``events`` has succeeded."""
+        return Condition(self, events, Condition.ANY)
+
+    # ------------------------------------------------------------------
+    # scheduling / running
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, self._sequence, event))
+        self._sequence += 1
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` (a zero-argument callable) at absolute ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule a callback in the past ({time} < {self._now})")
+        marker = Timeout(self, time - self._now)
+        marker.add_callback(lambda _event: callback())
+        return marker
+
+    def call_in(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` ``delay`` time units from now."""
+        return self.call_at(self._now + delay, callback)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("cannot step an empty event queue")
+        time, _priority, _seq, event = heapq.heappop(self._queue)
+        if time < self._now - 1e-12:
+            raise SimulationError("event scheduled in the past; queue corrupted")
+        self._now = max(self._now, time)
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation.
+
+        If ``until`` is a number the clock is advanced to exactly that time
+        (even if no event is scheduled there).  With ``until=None`` the
+        simulation runs until the event queue drains, which for closed models
+        with terminal loops means forever -- always pass ``until`` for the
+        transaction model.
+
+        Returns the simulation time at which the run stopped.
+        """
+        if until is not None:
+            until = float(until)
+            if until < self._now:
+                raise ValueError(f"until={until} lies in the past (now={self._now})")
+        try:
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    break
+                self.step()
+        except StopSimulation:
+            pass
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event (usable from callbacks)."""
+        raise StopSimulation()

@@ -1,0 +1,87 @@
+"""Named random-number streams.
+
+Simulation studies need *independent* streams for the different stochastic
+components (think times, service demands, data-item selection, transaction
+class selection, ...).  Using one global generator couples them: changing
+how many samples one component draws perturbs every other component, which
+destroys the common-random-numbers structure needed for fair comparisons
+between, say, the IS and the PA controller on "the same" workload.
+
+:class:`RandomStreams` derives one :class:`numpy.random.Generator` per named
+stream from a root seed using ``numpy``'s ``SeedSequence.spawn`` machinery,
+so streams are reproducible, independent, and stable under the addition of
+new streams (each stream is keyed by its name, not by creation order).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable
+
+import numpy as np
+
+
+class RandomStreams:
+    """Factory and registry of named, independently seeded RNG streams."""
+
+    def __init__(self, seed: int = 0):
+        if not isinstance(seed, (int, np.integer)):
+            raise TypeError(f"seed must be an integer, got {type(seed).__name__}")
+        self.seed = int(seed)
+        self._generators: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        The stream's seed is a deterministic function of the root seed and
+        the stream name only, so the same name always yields the same stream
+        regardless of how many other streams exist or in what order they
+        were requested.
+        """
+        generator = self._generators.get(name)
+        if generator is None:
+            name_key = zlib.crc32(name.encode("utf-8"))
+            sequence = np.random.SeedSequence(entropy=self.seed, spawn_key=(name_key,))
+            generator = np.random.default_rng(sequence)
+            self._generators[name] = generator
+        return generator
+
+    def __getitem__(self, name: str) -> np.random.Generator:
+        return self.stream(name)
+
+    def names(self) -> Iterable[str]:
+        """Names of all streams created so far."""
+        return tuple(self._generators)
+
+    # ------------------------------------------------------------------
+    # convenience sampling helpers (used heavily by the workload model)
+    # ------------------------------------------------------------------
+    def exponential(self, name: str, mean: float) -> float:
+        """One exponential variate with the given mean from stream ``name``."""
+        if mean < 0:
+            raise ValueError(f"mean must be non-negative, got {mean}")
+        if mean == 0:
+            return 0.0
+        return float(self.stream(name).exponential(mean))
+
+    def uniform(self, name: str, low: float, high: float) -> float:
+        """One uniform variate on [low, high) from stream ``name``."""
+        return float(self.stream(name).uniform(low, high))
+
+    def bernoulli(self, name: str, probability: float) -> bool:
+        """One Bernoulli trial with the given success probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if probability == 0.0:
+            return False
+        if probability == 1.0:
+            return True
+        return bool(self.stream(name).random() < probability)
+
+    def choice_without_replacement(self, name: str, population: int, count: int) -> np.ndarray:
+        """Sample ``count`` distinct integers from ``range(population)``."""
+        if count > population:
+            raise ValueError(
+                f"cannot draw {count} distinct items from a population of {population}"
+            )
+        return self.stream(name).choice(population, size=count, replace=False)

@@ -1,0 +1,223 @@
+"""Queueing resources for the simulation kernel.
+
+Two resource types are provided:
+
+* :class:`Resource` -- an FCFS multi-server station.  The transaction
+  processing model uses one instance with capacity ``m`` for the homogeneous
+  multiprocessor ("m CPUs serving a shared queue") and, when disk contention
+  is modelled explicitly, one instance per disk.
+* :class:`Store` -- an unbounded FIFO of items with blocking ``get``.  Used
+  by the admission gate's FCFS waiting queue and in tests.
+
+Both follow the request/release protocol: ``request()`` returns an event that
+succeeds once the resource is granted; the holder must later call
+``release(request)``.  Requests may be cancelled before they are granted,
+which is how interrupted transactions withdraw from queues without leaking
+capacity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "granted", "cancelled", "enqueued_at", "granted_at")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.granted = False
+        self.cancelled = False
+        self.enqueued_at = resource.sim.now
+        self.granted_at: Optional[float] = None
+
+    def cancel(self) -> None:
+        """Withdraw the request.
+
+        If it was already granted the slot is released; if it is still
+        waiting it is marked cancelled and skipped when it reaches the head
+        of the queue.  Cancelling twice is a no-op.
+        """
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self.granted:
+            self.resource.release(self)
+        else:
+            self.resource._drop_waiting(self)
+
+
+class Resource:
+    """First-come-first-served multi-server resource.
+
+    ``capacity`` servers are available; requests beyond the capacity wait in
+    an FCFS queue.  The resource keeps the occupancy and waiting statistics
+    needed by the measurement layer (utilisation, mean queue length).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.name = name
+        self._users: set[Request] = set()
+        self._waiting: Deque[Request] = deque()
+        # statistics: time integrals of busy servers and queue length
+        self._last_change = sim.now
+        self._busy_time_integral = 0.0
+        self._queue_time_integral = 0.0
+        self.total_requests = 0
+        self.total_wait_time = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Number of servers currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a server."""
+        return len(self._waiting)
+
+    # ------------------------------------------------------------------
+    def request(self) -> Request:
+        """Claim a server; the returned event succeeds once granted."""
+        self._accumulate()
+        req = Request(self)
+        self.total_requests += 1
+        if len(self._users) < self.capacity:
+            self._grant(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        """Return the server held by ``req`` and grant the next waiter."""
+        if req not in self._users:
+            raise SimulationError(
+                f"release of a request that does not hold {self.name!r} "
+                "(double release or foreign request)"
+            )
+        self._accumulate()
+        self._users.discard(req)
+        req.granted = False
+        self._grant_waiters()
+
+    def _drop_waiting(self, req: Request) -> None:
+        """Remove a cancelled request from the waiting queue."""
+        self._accumulate()
+        try:
+            self._waiting.remove(req)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    def _grant(self, req: Request) -> None:
+        req.granted = True
+        req.granted_at = self.sim.now
+        self.total_wait_time += req.granted_at - req.enqueued_at
+        self._users.add(req)
+        req.succeed(req)
+
+    def _grant_waiters(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            req = self._waiting.popleft()
+            if req.cancelled:
+                continue
+            self._grant(req)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def _accumulate(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_change
+        if elapsed > 0:
+            self._busy_time_integral += elapsed * len(self._users)
+            self._queue_time_integral += elapsed * len(self._waiting)
+            self._last_change = now
+
+    def utilisation(self, since: float = 0.0) -> float:
+        """Mean fraction of busy servers since ``since`` (default run start)."""
+        self._accumulate()
+        horizon = self.sim.now - since
+        if horizon <= 0:
+            return 0.0
+        return self._busy_time_integral / (horizon * self.capacity)
+
+    def mean_queue_length(self, since: float = 0.0) -> float:
+        """Time-averaged number of waiting requests."""
+        self._accumulate()
+        horizon = self.sim.now - since
+        if horizon <= 0:
+            return 0.0
+        return self._queue_time_integral / horizon
+
+    def reset_statistics(self) -> None:
+        """Forget accumulated statistics (used at the end of warm-up)."""
+        self._accumulate()
+        self._busy_time_integral = 0.0
+        self._queue_time_integral = 0.0
+        self.total_requests = 0
+        self.total_wait_time = 0.0
+        self._last_change = self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Resource {self.name!r} capacity={self.capacity} "
+            f"in_use={self.in_use} queued={self.queue_length}>"
+        )
+
+
+class Store:
+    """Unbounded FIFO of items with blocking retrieval.
+
+    ``put`` never blocks.  ``get`` returns an event that succeeds with the
+    oldest item once one is available.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    @property
+    def size(self) -> int:
+        """Number of items currently stored."""
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of get() calls still blocked."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        """Add ``item``; wakes the oldest blocked getter if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that succeeds with the next item (FIFO order)."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Store {self.name!r} size={self.size} waiting={self.waiting_getters}>"

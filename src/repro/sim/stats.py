@@ -1,0 +1,303 @@
+"""Statistics utilities for simulation output analysis.
+
+The measurement layer of the load controller (Section 5 of the paper) needs
+to estimate throughput and concurrency over finite intervals and to reason
+about how long an interval must be to reach a given accuracy at a given
+confidence level.  The classes here provide the required building blocks:
+
+* :class:`ObservationStats` -- streaming mean/variance (Welford) over
+  discrete observations such as response times.
+* :class:`TimeWeightedStats` -- time-weighted averages of piecewise-constant
+  quantities such as the concurrency level ``n(t)``.
+* :class:`BatchMeans` -- the classic batch-means method for confidence
+  intervals on steady-state means from a single run.
+* :func:`confidence_interval` -- half-width of a t/normal confidence
+  interval.
+* :func:`required_observations` -- how many observations are needed for a
+  target relative accuracy, the quantity Heiss (1988) uses to size the
+  measurement interval ("rather hundreds of departures than some tens").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+def _student_t_quantile(probability: float, dof: int) -> float:
+    """Two-sided Student-t quantile, falling back to the normal for large dof.
+
+    SciPy is an optional dependency of the core library; when it is present
+    the exact quantile is used, otherwise the Cornish-Fisher style expansion
+    of the normal quantile is applied, which is accurate to ~1e-3 for the
+    degrees of freedom encountered in practice (>= 5).
+    """
+    if dof <= 0:
+        raise ValueError(f"degrees of freedom must be positive, got {dof}")
+    try:  # pragma: no cover - exercised when scipy is installed
+        from scipy import stats as _scipy_stats
+
+        return float(_scipy_stats.t.ppf(probability, dof))
+    except ImportError:  # pragma: no cover - fallback path
+        z = _normal_quantile(probability)
+        g1 = (z**3 + z) / 4.0
+        g2 = (5 * z**5 + 16 * z**3 + 3 * z) / 96.0
+        g3 = (3 * z**7 + 19 * z**5 + 17 * z**3 - 15 * z) / 384.0
+        return z + g1 / dof + g2 / dof**2 + g3 / dof**3
+
+
+def _normal_quantile(probability: float) -> float:
+    """Acklam's rational approximation of the standard normal quantile."""
+    if not 0.0 < probability < 1.0:
+        raise ValueError(f"probability must be in (0, 1), got {probability}")
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if probability < p_low:
+        q = math.sqrt(-2 * math.log(probability))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if probability <= 1 - p_low:
+        q = probability - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1)
+    q = math.sqrt(-2 * math.log(1 - probability))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+
+
+class ObservationStats:
+    """Streaming mean and variance of discrete observations (Welford)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._minimum = math.inf
+        self._maximum = -math.inf
+        self._total = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self._total += value
+        if value < self._minimum:
+            self._minimum = value
+        if value > self._maximum:
+            self._maximum = value
+
+    def merge(self, other: "ObservationStats") -> None:
+        """Fold another accumulator into this one (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._minimum = other._minimum
+            self._maximum = other._maximum
+            self._total = other._total
+            return
+        combined = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / combined
+        self._mean = (self.count * self._mean + other.count * other._mean) / combined
+        self.count = combined
+        self._total += other._total
+        self._minimum = min(self._minimum, other._minimum)
+        self._maximum = max(self._maximum, other._maximum)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return self._total
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (0.0 when empty)."""
+        return self._minimum if self.count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (0.0 when empty)."""
+        return self._maximum if self.count else 0.0
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        self.__init__()
+
+
+class TimeWeightedStats:
+    """Time-weighted average of a piecewise-constant quantity.
+
+    Typical use: track the concurrency level ``n(t)``; every time it changes
+    call :meth:`update` with the new value, then read :attr:`mean` at the end
+    of a measurement interval.
+    """
+
+    def __init__(self, time: float, value: float = 0.0) -> None:
+        self._last_time = float(time)
+        self._value = float(value)
+        self._area = 0.0
+        self._start_time = float(time)
+        self._minimum = float(value)
+        self._maximum = float(value)
+
+    @property
+    def current(self) -> float:
+        """Value currently in effect."""
+        return self._value
+
+    def update(self, time: float, value: float) -> None:
+        """Record that the quantity changed to ``value`` at ``time``."""
+        time = float(time)
+        if time < self._last_time - 1e-12:
+            raise ValueError(
+                f"time must be non-decreasing: got {time} after {self._last_time}"
+            )
+        self._area += (time - self._last_time) * self._value
+        self._last_time = time
+        self._value = float(value)
+        if self._value < self._minimum:
+            self._minimum = self._value
+        if self._value > self._maximum:
+            self._maximum = self._value
+
+    def mean(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean from the start (or last reset) until ``until``."""
+        end = self._last_time if until is None else float(until)
+        if end < self._last_time:
+            raise ValueError("cannot compute a mean ending before the last update")
+        area = self._area + (end - self._last_time) * self._value
+        horizon = end - self._start_time
+        if horizon <= 0:
+            return self._value
+        return area / horizon
+
+    @property
+    def minimum(self) -> float:
+        """Smallest value seen since the last reset."""
+        return self._minimum
+
+    @property
+    def maximum(self) -> float:
+        """Largest value seen since the last reset."""
+        return self._maximum
+
+    def reset(self, time: float) -> None:
+        """Restart the averaging window at ``time``, keeping the current value."""
+        time = float(time)
+        self._area = 0.0
+        self._start_time = time
+        self._last_time = time
+        self._minimum = self._value
+        self._maximum = self._value
+
+
+@dataclass
+class BatchMeans:
+    """Batch-means estimator for steady-state means from one long run.
+
+    Observations are grouped into batches of ``batch_size``; the batch means
+    are treated as (approximately) independent samples, which gives a
+    defensible confidence interval without independent replications.
+    """
+
+    batch_size: int
+    _current: ObservationStats = field(default_factory=ObservationStats)
+    _batch_means: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    def add(self, value: float) -> None:
+        """Record one observation, closing a batch when it fills up."""
+        self._current.add(value)
+        if self._current.count >= self.batch_size:
+            self._batch_means.append(self._current.mean)
+            self._current = ObservationStats()
+
+    @property
+    def batch_count(self) -> int:
+        """Number of completed batches."""
+        return len(self._batch_means)
+
+    @property
+    def mean(self) -> float:
+        """Grand mean over completed batches."""
+        if not self._batch_means:
+            return self._current.mean
+        return sum(self._batch_means) / len(self._batch_means)
+
+    def half_width(self, confidence: float = 0.95) -> float:
+        """Half-width of the confidence interval on the grand mean."""
+        if len(self._batch_means) < 2:
+            return math.inf
+        return confidence_interval(self._batch_means, confidence)
+
+
+def confidence_interval(samples: Sequence[float], confidence: float = 0.95) -> float:
+    """Half-width of the two-sided t confidence interval for the mean."""
+    n = len(samples)
+    if n < 2:
+        return math.inf
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    mean = sum(samples) / n
+    variance = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    quantile = _student_t_quantile(0.5 + confidence / 2.0, n - 1)
+    return quantile * math.sqrt(variance / n)
+
+
+def required_observations(coefficient_of_variation: float,
+                          relative_accuracy: float,
+                          confidence: float = 0.95) -> int:
+    """Observations needed to estimate a mean to a given relative accuracy.
+
+    For i.i.d. observations with coefficient of variation ``c``, the number
+    of samples needed so that the confidence-interval half-width is at most
+    ``relative_accuracy`` times the mean is ``(z * c / eps)^2`` where ``z``
+    is the normal quantile of the confidence level.  Heiss (1988) uses this
+    relation to size the measurement interval of the load controller; the
+    paper's rule of thumb ("rather hundreds of departures than some tens")
+    corresponds to c around 1 and a 10% accuracy target.
+    """
+    if coefficient_of_variation < 0:
+        raise ValueError("coefficient of variation must be non-negative")
+    if relative_accuracy <= 0:
+        raise ValueError("relative accuracy must be positive")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    needed = (z * coefficient_of_variation / relative_accuracy) ** 2
+    return max(1, int(math.ceil(needed)))

@@ -1,0 +1,44 @@
+"""Transaction processing system model (the paper's simulation substrate).
+
+This package implements the closed simulation model of Section 7:
+
+* a *physical model*: ``N`` terminals with exponential think times, a
+  homogeneous multiprocessor serving a single shared queue, and a disk
+  subsystem with constant service times and no contention;
+* a *logical model*: each transaction accesses a constant number ``k`` of
+  uniformly chosen data granules in ``k + 2`` phases (initialization, ``k``
+  access phases with gradually growing data set, commit processing);
+* a workload generator that can vary ``k``, the fraction of read-only
+  queries and the fraction of write accesses over time, either abruptly
+  (jump) or gradually (sinusoid), to reproduce the dynamic experiments.
+"""
+
+from repro.tp.database import Database
+from repro.tp.metrics import RunMetrics
+from repro.tp.params import SystemParams, WorkloadParams
+from repro.tp.system import TransactionSystem
+from repro.tp.transaction import Transaction, TransactionClass
+from repro.tp.workload import (
+    ConstantSchedule,
+    JumpSchedule,
+    ParameterSchedule,
+    SinusoidSchedule,
+    StepSchedule,
+    Workload,
+)
+
+__all__ = [
+    "Database",
+    "RunMetrics",
+    "SystemParams",
+    "WorkloadParams",
+    "TransactionSystem",
+    "Transaction",
+    "TransactionClass",
+    "Workload",
+    "ParameterSchedule",
+    "ConstantSchedule",
+    "JumpSchedule",
+    "SinusoidSchedule",
+    "StepSchedule",
+]

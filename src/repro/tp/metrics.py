@@ -1,0 +1,156 @@
+"""Run-level metrics for the transaction processing model.
+
+The measurement layer of the load controller (Section 5) works on *interval
+deltas*: commits, aborts and response times observed since the previous
+sample.  :class:`RunMetrics` therefore keeps monotone counters plus
+per-interval accumulators that the measurement process resets after each
+sample; the run totals remain available for final reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cc.base import AbortReason
+from repro.sim.engine import Simulator
+from repro.sim.stats import ObservationStats, TimeWeightedStats
+
+
+@dataclass
+class IntervalCounters:
+    """Deltas accumulated since the last measurement sample."""
+
+    commits: int = 0
+    aborts: int = 0
+    restarts: int = 0
+    conflicts: int = 0
+    response_time_sum: float = 0.0
+    response_time_count: int = 0
+
+    def mean_response_time(self) -> float:
+        """Mean response time of the commits in this interval (0 if none)."""
+        if self.response_time_count == 0:
+            return 0.0
+        return self.response_time_sum / self.response_time_count
+
+
+class RunMetrics:
+    """Counters and statistics for one simulation run."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        # run totals
+        self.commits = 0
+        self.submitted = 0
+        self.restarts = 0
+        self.conflicts = 0
+        self.aborts_by_reason: Dict[AbortReason, int] = {reason: 0 for reason in AbortReason}
+        self.response_times = ObservationStats()
+        self.waiting_times = ObservationStats()
+        self.concurrency = TimeWeightedStats(sim.now, 0.0)
+        self.admission_queue = TimeWeightedStats(sim.now, 0.0)
+        # interval accumulators for the measurement process
+        self._interval = IntervalCounters()
+        self._measurement_start = sim.now
+
+    # ------------------------------------------------------------------
+    # event recording (called by the transaction system)
+    # ------------------------------------------------------------------
+    def record_submission(self) -> None:
+        """A terminal submitted a new transaction to the gate."""
+        self.submitted += 1
+
+    def record_admission(self, waiting_time: float) -> None:
+        """A transaction left the admission queue and entered the system."""
+        self.waiting_times.add(waiting_time)
+
+    def record_commit(self, response_time: float, conflicts: int = 0) -> None:
+        """A transaction committed with the given submission-to-commit latency."""
+        self.commits += 1
+        self.response_times.add(response_time)
+        self._interval.commits += 1
+        self._interval.response_time_sum += response_time
+        self._interval.response_time_count += 1
+        self._interval.conflicts += conflicts
+        self.conflicts += conflicts
+
+    def record_abort(self, reason: AbortReason, conflicts: int = 0) -> None:
+        """An execution was abandoned (it may restart afterwards)."""
+        self.aborts_by_reason[reason] += 1
+        self._interval.aborts += 1
+        if reason is not AbortReason.DISPLACEMENT:
+            self.restarts += 1
+            self._interval.restarts += 1
+        self.conflicts += conflicts
+        self._interval.conflicts += conflicts
+
+    def record_concurrency(self, level: float) -> None:
+        """The number of admitted (in-system) transactions changed."""
+        self.concurrency.update(self.sim.now, level)
+
+    def record_admission_queue(self, length: float) -> None:
+        """The admission queue length changed."""
+        self.admission_queue.update(self.sim.now, length)
+
+    # ------------------------------------------------------------------
+    # interval handling for the measurement process
+    # ------------------------------------------------------------------
+    def snapshot_interval(self) -> IntervalCounters:
+        """Return and reset the per-interval accumulators."""
+        interval = self._interval
+        self._interval = IntervalCounters()
+        self._measurement_start = self.sim.now
+        return interval
+
+    @property
+    def interval_start(self) -> float:
+        """Start time of the currently accumulating interval."""
+        return self._measurement_start
+
+    # ------------------------------------------------------------------
+    # derived run-level quantities
+    # ------------------------------------------------------------------
+    def throughput(self, since: float = 0.0) -> float:
+        """Committed transactions per second over the whole run (since ``since``)."""
+        horizon = self.sim.now - since
+        if horizon <= 0:
+            return 0.0
+        return self.commits / horizon
+
+    @property
+    def total_aborts(self) -> int:
+        """Abandoned executions of any kind."""
+        return sum(self.aborts_by_reason.values())
+
+    @property
+    def restart_ratio(self) -> float:
+        """Abandoned executions per commit (wasted work indicator)."""
+        if self.commits == 0:
+            return 0.0
+        return self.restarts / self.commits
+
+    @property
+    def conflict_ratio(self) -> float:
+        """Certification conflicts per commit."""
+        if self.commits == 0:
+            return 0.0
+        return self.conflicts / self.commits
+
+    def mean_response_time(self) -> float:
+        """Mean submission-to-commit latency over the run."""
+        return self.response_times.mean
+
+    def mean_concurrency(self) -> float:
+        """Time-averaged number of admitted transactions."""
+        return self.concurrency.mean(self.sim.now)
+
+    def reset(self) -> None:
+        """Forget everything recorded so far (end of warm-up)."""
+        current_concurrency = self.concurrency.current
+        current_queue = self.admission_queue.current
+        self.__init__(self.sim)
+        self.concurrency.update(self.sim.now, current_concurrency)
+        self.admission_queue.update(self.sim.now, current_queue)
+        self.concurrency.reset(self.sim.now)
+        self.admission_queue.reset(self.sim.now)

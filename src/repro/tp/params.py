@@ -1,0 +1,137 @@
+"""Parameter records for the transaction processing model.
+
+Two dataclasses configure a run:
+
+* :class:`SystemParams` -- the *physical* model: number of terminals, think
+  time, multiprocessor size, CPU demands per phase, constant disk service
+  time, restart handling.
+* :class:`WorkloadParams` -- the *logical* model: database size, accesses
+  per transaction ``k``, query fraction and write-access fraction.
+
+The defaults are chosen so that, like the configurations derived from the
+customer traces of Yu et al. (1987) that the paper reports using, the system
+saturates its processors at a moderate multiprogramming level and enters
+data-contention thrashing well inside the studied load range (offered loads
+of 100-800 terminals).  The absolute values are not the paper's (those were
+never published); what matters for the reproduction is the *shape* of the
+load/throughput function: linear under light load, saturating, then
+decreasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Logical (data access) characteristics of the workload."""
+
+    #: number of granules in the database (``D`` in the paper)
+    db_size: int = 4000
+    #: number of granules accessed per transaction (``k`` in the paper)
+    accesses_per_txn: int = 8
+    #: fraction of transactions that are read-only queries
+    query_fraction: float = 0.25
+    #: probability that an access of an *updater* is a write
+    write_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.db_size < 1:
+            raise ValueError(f"db_size must be >= 1, got {self.db_size}")
+        if not 1 <= self.accesses_per_txn <= self.db_size:
+            raise ValueError(
+                "accesses_per_txn must be between 1 and db_size, got "
+                f"{self.accesses_per_txn} (db_size={self.db_size})"
+            )
+        if not 0.0 <= self.query_fraction <= 1.0:
+            raise ValueError(f"query_fraction must be in [0, 1], got {self.query_fraction}")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError(f"write_fraction must be in [0, 1], got {self.write_fraction}")
+
+    def with_changes(self, **changes) -> "WorkloadParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Physical configuration of the closed transaction processing system."""
+
+    #: number of terminals = number of circulating transactions (``N``)
+    n_terminals: int = 200
+    #: mean think time at the terminal between transactions (seconds)
+    think_time: float = 1.0
+    #: number of processors serving the shared CPU queue
+    n_cpus: int = 4
+    #: mean CPU demand of the initialization phase (seconds)
+    cpu_init: float = 0.005
+    #: mean CPU demand of each of the k access phases (seconds)
+    cpu_per_access: float = 0.005
+    #: mean CPU demand of the commit phase (seconds)
+    cpu_commit: float = 0.005
+    #: constant disk service time per access phase (seconds, no contention)
+    disk_per_access: float = 0.02
+    #: constant disk service time for the commit (log write, seconds)
+    disk_commit: float = 0.02
+    #: mean delay before a restarted execution begins (seconds)
+    restart_delay: float = 0.01
+    #: whether CPU demands are exponentially distributed (True) or constant
+    stochastic_cpu: bool = True
+    #: root seed for all random streams of the run
+    seed: int = 1
+    #: logical workload parameters
+    workload: WorkloadParams = field(default_factory=WorkloadParams)
+
+    def __post_init__(self) -> None:
+        if self.n_terminals < 1:
+            raise ValueError(f"n_terminals must be >= 1, got {self.n_terminals}")
+        if self.n_cpus < 1:
+            raise ValueError(f"n_cpus must be >= 1, got {self.n_cpus}")
+        for name in ("think_time", "cpu_init", "cpu_per_access", "cpu_commit",
+                     "disk_per_access", "disk_commit", "restart_delay"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+    def with_changes(self, **changes) -> "SystemParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # derived quantities used by the analytic models and for sanity checks
+    # ------------------------------------------------------------------
+    @property
+    def cpu_demand_per_execution(self) -> float:
+        """Total mean CPU seconds one execution consumes (no restarts)."""
+        k = self.workload.accesses_per_txn
+        return self.cpu_init + k * self.cpu_per_access + self.cpu_commit
+
+    @property
+    def disk_demand_per_execution(self) -> float:
+        """Total disk seconds one execution spends (constant, uncontended)."""
+        k = self.workload.accesses_per_txn
+        return k * self.disk_per_access + self.disk_commit
+
+    @property
+    def max_cpu_throughput(self) -> float:
+        """Upper bound on commit rate imposed by CPU capacity alone."""
+        demand = self.cpu_demand_per_execution
+        if demand == 0:
+            return float("inf")
+        return self.n_cpus / demand
+
+    def saturation_mpl(self) -> float:
+        """Multiprogramming level at which the CPUs saturate (rough estimate).
+
+        Below this level the system is in phase I of figure 1 (underload):
+        each transaction's residence time is approximately its uncontended
+        service time, so the number of transactions needed to keep all
+        processors busy is ``n_cpus * (total residence / CPU demand)``.
+        """
+        demand = self.cpu_demand_per_execution
+        if demand == 0:
+            return float("inf")
+        residence = demand + self.disk_demand_per_execution
+        return self.n_cpus * residence / demand

@@ -1,0 +1,286 @@
+"""The closed transaction processing system (Section 7, Figure 11).
+
+The physical model is a closed queueing network in which ``N`` statistically
+identical transactions circulate:
+
+* a set of ``N`` terminals where transactions are started after an
+  exponentially distributed think time;
+* an admission gate (the load-control "gate" of Figure 5) in front of the
+  processing system;
+* a homogeneous multiprocessor (``m`` CPUs) serving one shared FCFS queue;
+* a disk subsystem with constant service times and no contention (a pure
+  delay);
+* the concurrency control scheme, by default optimistic timestamp
+  certification.
+
+The execution of a transaction consists of ``k + 2`` phases: an
+initialization phase, ``k`` phases with gradually increasing data set size
+(one granule accessed per phase, each phase using the CPU and then the
+disk), and a final phase for commit processing.  When certification fails
+the transaction is aborted and restarted from scratch (its reads and writes
+are repeated), which is precisely the mechanism by which data contention is
+converted into resource contention and, beyond the optimal concurrency
+level, into thrashing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.cc.base import AbortReason, ConcurrencyControl, TransactionAborted
+from repro.cc.timestamp_cert import TimestampCertification
+from repro.core.admission import AdmissionGate
+from repro.core.controller import LoadController
+from repro.core.displacement import DisplacementPolicy
+from repro.core.measurement import MeasurementProcess
+from repro.core.outer_loop import MeasurementIntervalTuner
+from repro.sim.engine import Interrupt, Process, Simulator
+from repro.sim.random_streams import RandomStreams
+from repro.sim.resources import Resource
+from repro.tp.metrics import RunMetrics
+from repro.tp.params import SystemParams
+from repro.tp.transaction import Transaction
+from repro.tp.workload import Workload
+
+
+#: outcome values returned by a transaction lifecycle process
+COMMITTED = "committed"
+DISPLACED = "displaced"
+
+
+class TransactionSystem:
+    """The complete closed model: terminals, gate, CPUs, disks, CC scheme."""
+
+    def __init__(self,
+                 params: SystemParams,
+                 sim: Optional[Simulator] = None,
+                 streams: Optional[RandomStreams] = None,
+                 workload: Optional[Workload] = None,
+                 cc: Optional[ConcurrencyControl] = None,
+                 gate: Optional[AdmissionGate] = None,
+                 displacement: Optional[DisplacementPolicy] = None,
+                 resubmit_displaced: bool = True):
+        self.params = params
+        self.sim = sim or Simulator()
+        self.streams = streams or RandomStreams(params.seed)
+        self.workload = workload or Workload.constant(params.workload, self.streams)
+        self.cc = cc or TimestampCertification(self.sim)
+        self.gate = gate or AdmissionGate(self.sim)
+        self.displacement = displacement
+        self.resubmit_displaced = resubmit_displaced
+        self.metrics = RunMetrics(self.sim)
+        self.cpus = Resource(self.sim, params.n_cpus, name="cpu")
+        #: txn_id -> (transaction, lifecycle process) for admitted transactions
+        self._active: Dict[int, Tuple[Transaction, Process]] = {}
+        self._terminal_processes: List[Process] = []
+        self._started = False
+        self.measurement: Optional[MeasurementProcess] = None
+
+    # ------------------------------------------------------------------
+    # wiring and execution
+    # ------------------------------------------------------------------
+    def attach_controller(self,
+                          controller: LoadController,
+                          interval: float = 5.0,
+                          warmup: float = 0.0,
+                          interval_tuner: Optional[MeasurementIntervalTuner] = None) -> MeasurementProcess:
+        """Close the feedback loop of Figure 5 around this system.
+
+        Returns the measurement process so callers can inspect its control
+        trace after the run.  Must be called before :meth:`start`.
+        """
+        if self._started:
+            raise RuntimeError("attach_controller must be called before start()")
+        self.measurement = MeasurementProcess(
+            sim=self.sim,
+            gate=self.gate,
+            metrics=self.metrics,
+            controller=controller,
+            interval=interval,
+            warmup=warmup,
+            displace=self.displace_to if self.displacement is not None else None,
+            interval_tuner=interval_tuner,
+            mean_accesses_provider=lambda now: float(
+                self.workload.params_at(now).accesses_per_txn
+            ),
+        )
+        return self.measurement
+
+    def start(self) -> None:
+        """Create the terminal processes (and the measurement loop, if any)."""
+        if self._started:
+            raise RuntimeError("the system has already been started")
+        self._started = True
+        if self.measurement is not None:
+            self.measurement.start()
+        for terminal_id in range(self.params.n_terminals):
+            process = self.sim.process(
+                self._terminal(terminal_id), name=f"terminal-{terminal_id}"
+            )
+            self._terminal_processes.append(process)
+
+    def run(self, until: float) -> float:
+        """Start (if necessary) and run the simulation until ``until``."""
+        if not self._started:
+            self.start()
+        return self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # displacement support (invoked by the measurement process)
+    # ------------------------------------------------------------------
+    def active_transactions(self) -> List[Transaction]:
+        """Transactions currently admitted to the processing system."""
+        return [txn for txn, _process in self._active.values()]
+
+    def displace_to(self, new_limit: float) -> int:
+        """Abort enough active transactions to honour ``new_limit`` now."""
+        if self.displacement is None:
+            return 0
+        victims = self.displacement.select_victims(self.active_transactions(), new_limit)
+        displaced = 0
+        for victim in victims:
+            entry = self._active.get(victim.txn_id)
+            if entry is None:
+                continue
+            _txn, process = entry
+            if process.is_alive:
+                process.interrupt(TransactionAborted(AbortReason.DISPLACEMENT, "displaced"))
+                displaced += 1
+        return displaced
+
+    # ------------------------------------------------------------------
+    # model processes
+    # ------------------------------------------------------------------
+    def _terminal(self, terminal_id: int) -> Generator:
+        """One terminal: think, submit, wait for admission, run, repeat."""
+        params = self.params
+        while True:
+            think = self.streams.exponential("think-time", params.think_time)
+            if think > 0:
+                yield self.sim.timeout(think)
+            txn = self.workload.next_transaction(self.sim.now, terminal_id)
+            self.metrics.record_submission()
+            yield from self._submit_and_process(txn)
+
+    def _submit_and_process(self, txn: Transaction) -> Generator:
+        """Submit ``txn`` to the gate and run it until commit (or final abort)."""
+        while True:
+            yield self.gate.submit(txn)
+            self.metrics.record_admission(self.sim.now - txn.submitted_at)
+            self.metrics.record_concurrency(self.gate.current_load)
+            self.metrics.record_admission_queue(self.gate.queue_length)
+
+            lifecycle = self.sim.process(
+                self._transaction_lifecycle(txn), name=f"txn-{txn.txn_id}"
+            )
+            self._active[txn.txn_id] = (txn, lifecycle)
+            outcome = yield lifecycle
+            self._active.pop(txn.txn_id, None)
+            self.gate.depart(txn)
+            self.metrics.record_concurrency(self.gate.current_load)
+
+            if outcome == COMMITTED:
+                return
+            if outcome == DISPLACED and self.resubmit_displaced:
+                # the transaction keeps its original submission time so the
+                # displacement penalty shows up in its response time
+                continue
+            return
+
+    def _transaction_lifecycle(self, txn: Transaction) -> Generator:
+        """Run one admitted transaction to commit, restarting as needed."""
+        params = self.params
+        while True:
+            txn.start_execution(self.sim.now)
+            self.cc.begin(txn)
+            try:
+                # initialization phase
+                yield from self._phase(params.cpu_init, params.disk_per_access)
+                # k access phases with gradually increasing data set size
+                for item, is_write in txn.accesses:
+                    grant = self.cc.access(txn, item, is_write)
+                    if grant is not None:
+                        yield grant
+                    yield from self._phase(params.cpu_per_access, params.disk_per_access)
+                # commit processing phase
+                yield from self._phase(params.cpu_commit, params.disk_commit)
+
+                if self.cc.try_commit(txn):
+                    self.cc.finish(txn)
+                    txn.committed_at = self.sim.now
+                    self.metrics.record_commit(
+                        txn.committed_at - txn.submitted_at, txn.last_conflicts
+                    )
+                    return COMMITTED
+
+                # certification failed: abort this execution and restart
+                self.cc.abort(txn, AbortReason.CERTIFICATION)
+                self.metrics.record_abort(AbortReason.CERTIFICATION, txn.last_conflicts)
+                txn.record_restart()
+                yield from self._restart_delay()
+
+            except TransactionAborted as aborted:
+                # blocking CC made this transaction a deadlock victim
+                self.cc.abort(txn, aborted.reason)
+                self.metrics.record_abort(aborted.reason)
+                txn.record_restart()
+                yield from self._restart_delay()
+
+            except Interrupt as interrupt:
+                # displacement by the load controller
+                reason = AbortReason.DISPLACEMENT
+                cause = interrupt.cause
+                if isinstance(cause, TransactionAborted):
+                    reason = cause.reason
+                self.cc.abort(txn, reason)
+                self.metrics.record_abort(reason)
+                txn.record_restart()
+                return DISPLACED
+
+    def _phase(self, cpu_mean: float, disk_time: float) -> Generator:
+        """One execution phase: CPU burst at the multiprocessor, then disk I/O."""
+        if cpu_mean > 0:
+            request = self.cpus.request()
+            try:
+                yield request
+                demand = self._cpu_demand(cpu_mean)
+                if demand > 0:
+                    yield self.sim.timeout(demand)
+            finally:
+                request.cancel()
+        if disk_time > 0:
+            yield self.sim.timeout(disk_time)
+
+    def _cpu_demand(self, mean: float) -> float:
+        if self.params.stochastic_cpu:
+            return self.streams.exponential("cpu-demand", mean)
+        return mean
+
+    def _restart_delay(self) -> Generator:
+        delay_mean = self.params.restart_delay
+        if delay_mean > 0:
+            yield self.sim.timeout(self.streams.exponential("restart-delay", delay_mean))
+
+    # ------------------------------------------------------------------
+    # reporting helpers
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Key run-level quantities for quick inspection and reports."""
+        return {
+            "time": self.sim.now,
+            "commits": float(self.metrics.commits),
+            "throughput": self.metrics.throughput(),
+            "mean_response_time": self.metrics.mean_response_time(),
+            "mean_concurrency": self.gate.mean_load(),
+            "restart_ratio": self.metrics.restart_ratio,
+            "conflict_ratio": self.metrics.conflict_ratio,
+            "cpu_utilisation": self.cpus.utilisation(),
+            "current_limit": self.gate.limit,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TransactionSystem N={self.params.n_terminals} cpus={self.params.n_cpus} "
+            f"cc={self.cc.name} t={self.sim.now:.1f}>"
+        )

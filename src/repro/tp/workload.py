@@ -1,0 +1,230 @@
+"""Workload generation and dynamic parameter schedules.
+
+The paper drives its dynamic experiments by changing one of three workload
+parameters during the run (Section 7):
+
+* ``k`` -- the number of granules accessed per transaction,
+* the fraction of read-only queries,
+* the fraction of write accesses of the updaters,
+
+in either a *jump-like* fashion (abrupt change, Figures 13/14) or a
+*sinusoidal* fashion (smooth, gradual change).  All of these move the height
+and the position of the throughput optimum.
+
+:class:`ParameterSchedule` and its implementations describe one scalar
+parameter as a function of simulated time; :class:`Workload` bundles the
+three schedules, samples concrete transactions at submission time, and
+exposes the *current* :class:`~repro.tp.params.WorkloadParams` so analytic
+reference models can compute the true optimum at any instant.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Tuple
+
+from repro.sim.random_streams import RandomStreams
+from repro.tp.database import Database
+from repro.tp.params import WorkloadParams
+from repro.tp.transaction import Transaction, TransactionClass
+
+
+class ParameterSchedule(ABC):
+    """A scalar workload parameter as a function of simulated time."""
+
+    @abstractmethod
+    def value(self, time: float) -> float:
+        """Parameter value in effect at ``time``."""
+
+    def __call__(self, time: float) -> float:
+        return self.value(time)
+
+
+class ConstantSchedule(ParameterSchedule):
+    """A parameter that never changes."""
+
+    def __init__(self, value: float):
+        self._value = float(value)
+
+    def value(self, time: float) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Constant({self._value})"
+
+
+class JumpSchedule(ParameterSchedule):
+    """Abrupt change from ``before`` to ``after`` at ``jump_time``.
+
+    Models the jump-like workload variation of Figures 13/14.  Multiple jumps
+    can be expressed with :class:`StepSchedule`.
+    """
+
+    def __init__(self, before: float, after: float, jump_time: float):
+        self.before = float(before)
+        self.after = float(after)
+        self.jump_time = float(jump_time)
+
+    def value(self, time: float) -> float:
+        return self.after if time >= self.jump_time else self.before
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Jump({self.before}->{self.after} at t={self.jump_time})"
+
+
+class StepSchedule(ParameterSchedule):
+    """Piecewise-constant schedule given as (time, value) breakpoints."""
+
+    def __init__(self, initial: float, steps: Sequence[Tuple[float, float]]):
+        self.initial = float(initial)
+        self.steps = sorted((float(t), float(v)) for t, v in steps)
+
+    def value(self, time: float) -> float:
+        current = self.initial
+        for step_time, step_value in self.steps:
+            if time >= step_time:
+                current = step_value
+            else:
+                break
+        return current
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Steps(initial={self.initial}, steps={self.steps})"
+
+
+class SinusoidSchedule(ParameterSchedule):
+    """Smooth periodic variation around a mean value.
+
+    ``value(t) = mean + amplitude * sin(2*pi*(t - phase)/period)`` -- the
+    "sinusoidal variation modelling more smooth and gradual changes" of
+    Section 9.
+    """
+
+    def __init__(self, mean: float, amplitude: float, period: float, phase: float = 0.0):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.mean = float(mean)
+        self.amplitude = float(amplitude)
+        self.period = float(period)
+        self.phase = float(phase)
+
+    def value(self, time: float) -> float:
+        return self.mean + self.amplitude * math.sin(
+            2.0 * math.pi * (time - self.phase) / self.period
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Sinusoid(mean={self.mean}, amplitude={self.amplitude}, "
+            f"period={self.period})"
+        )
+
+
+def _as_schedule(value) -> ParameterSchedule:
+    """Coerce a number into a ConstantSchedule, pass schedules through."""
+    if isinstance(value, ParameterSchedule):
+        return value
+    return ConstantSchedule(float(value))
+
+
+class Workload:
+    """Samples transactions according to (possibly time-varying) parameters."""
+
+    def __init__(self,
+                 base: WorkloadParams,
+                 streams: RandomStreams,
+                 database: Optional[Database] = None,
+                 accesses_schedule: Optional[ParameterSchedule] = None,
+                 query_fraction_schedule: Optional[ParameterSchedule] = None,
+                 write_fraction_schedule: Optional[ParameterSchedule] = None):
+        self.base = base
+        self.streams = streams
+        self.database = database or Database(base.db_size, streams)
+        self._accesses = accesses_schedule or ConstantSchedule(base.accesses_per_txn)
+        self._query_fraction = query_fraction_schedule or ConstantSchedule(base.query_fraction)
+        self._write_fraction = write_fraction_schedule or ConstantSchedule(base.write_fraction)
+        self._next_txn_id = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, params: WorkloadParams, streams: RandomStreams) -> "Workload":
+        """Workload with all parameters fixed (stationary experiments)."""
+        return cls(params, streams)
+
+    @classmethod
+    def with_schedules(cls, params: WorkloadParams, streams: RandomStreams,
+                       accesses=None, query_fraction=None, write_fraction=None) -> "Workload":
+        """Workload where any subset of parameters follows a schedule.
+
+        Each of ``accesses``, ``query_fraction`` and ``write_fraction`` may be
+        a number (constant) or a :class:`ParameterSchedule`.
+        """
+        return cls(
+            params,
+            streams,
+            accesses_schedule=_as_schedule(accesses) if accesses is not None else None,
+            query_fraction_schedule=(
+                _as_schedule(query_fraction) if query_fraction is not None else None
+            ),
+            write_fraction_schedule=(
+                _as_schedule(write_fraction) if write_fraction is not None else None
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # time-varying parameter access
+    # ------------------------------------------------------------------
+    def params_at(self, time: float) -> WorkloadParams:
+        """The workload parameters in effect at ``time``."""
+        k = int(round(self._accesses.value(time)))
+        k = max(1, min(k, self.base.db_size))
+        query_fraction = min(1.0, max(0.0, self._query_fraction.value(time)))
+        write_fraction = min(1.0, max(0.0, self._write_fraction.value(time)))
+        return self.base.with_changes(
+            accesses_per_txn=k,
+            query_fraction=query_fraction,
+            write_fraction=write_fraction,
+        )
+
+    # ------------------------------------------------------------------
+    # transaction sampling
+    # ------------------------------------------------------------------
+    def next_transaction(self, time: float, terminal_id: int) -> Transaction:
+        """Sample the next transaction submitted by ``terminal_id`` at ``time``."""
+        params = self.params_at(time)
+        is_query = self.streams.bernoulli("txn-class", params.query_fraction)
+        k = params.accesses_per_txn
+        items = tuple(int(i) for i in self.database.sample_access_set(k))
+        if is_query:
+            txn_class = TransactionClass.QUERY
+            write_flags = tuple(False for _ in items)
+        else:
+            txn_class = TransactionClass.UPDATER
+            rng = self.streams.stream("write-marks")
+            write_flags = tuple(bool(rng.random() < params.write_fraction) for _ in items)
+            if not any(write_flags) and params.write_fraction > 0.0:
+                # an updater always performs at least one write, otherwise it
+                # would silently degrade into a query and dilute the class mix
+                index = int(rng.integers(0, len(items)))
+                write_flags = tuple(
+                    flag or (position == index) for position, flag in enumerate(write_flags)
+                )
+        txn = Transaction(
+            txn_id=self._next_txn_id,
+            terminal_id=terminal_id,
+            txn_class=txn_class,
+            items=items,
+            write_flags=write_flags,
+            submitted_at=time,
+        )
+        self._next_txn_id += 1
+        return txn
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Workload k={self._accesses!r} query={self._query_fraction!r} "
+            f"write={self._write_fraction!r}>"
+        )

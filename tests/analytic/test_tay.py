@@ -1,0 +1,87 @@
+"""Tests for the Tay mean-value blocking model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic.tay import TayModel
+
+
+class TestValidation:
+    def test_db_size_positive(self):
+        with pytest.raises(ValueError):
+            TayModel(db_size=0, locks_per_txn=5)
+
+    def test_locks_positive(self):
+        with pytest.raises(ValueError):
+            TayModel(db_size=100, locks_per_txn=0)
+
+    def test_waiting_share_range(self):
+        with pytest.raises(ValueError):
+            TayModel(db_size=100, locks_per_txn=5, waiting_share=0.0)
+        with pytest.raises(ValueError):
+            TayModel(db_size=100, locks_per_txn=5, waiting_share=1.5)
+
+
+class TestBlockingBehaviour:
+    def test_no_blocking_with_single_transaction(self):
+        model = TayModel(db_size=1000, locks_per_txn=10)
+        assert model.conflict_probability(1) == 0.0
+        assert model.blocked_transactions(1) == 0.0
+
+    def test_blocking_grows_superlinearly(self):
+        model = TayModel(db_size=1000, locks_per_txn=10)
+        b_10 = model.blocked_transactions(10)
+        b_20 = model.blocked_transactions(20)
+        # quadratic growth: doubling n more than doubles b(n)
+        assert b_20 > 2.5 * b_10
+
+    def test_blocked_never_exceeds_population(self):
+        model = TayModel(db_size=50, locks_per_txn=20)
+        for n in (1, 5, 10, 50, 200):
+            assert model.blocked_transactions(n) <= n
+
+    def test_active_transactions_positive(self):
+        model = TayModel(db_size=1000, locks_per_txn=10)
+        for n in (1, 10, 100, 500):
+            assert model.active_transactions(n) >= 0.0
+
+    def test_conflict_probability_capped_at_one(self):
+        model = TayModel(db_size=10, locks_per_txn=10)
+        assert model.conflict_probability(1000) == 1.0
+
+    def test_derivative_exceeds_one_beyond_critical_mpl(self):
+        model = TayModel(db_size=1000, locks_per_txn=8)
+        critical = model.critical_mpl()
+        assert model.blocking_derivative(critical * 0.5) < 1.0
+        assert model.blocking_derivative(critical * 1.2) > 1.0
+
+    def test_rule_of_thumb_formula(self):
+        model = TayModel(db_size=9000, locks_per_txn=10)
+        assert model.rule_of_thumb_mpl() == pytest.approx(1.5 * 9000 / 100)
+        assert model.rule_of_thumb_mpl(margin=1.0) == pytest.approx(90.0)
+
+    def test_smaller_transactions_allow_higher_mpl(self):
+        small = TayModel(db_size=1000, locks_per_txn=4)
+        large = TayModel(db_size=1000, locks_per_txn=16)
+        assert small.critical_mpl() > large.critical_mpl()
+        assert small.rule_of_thumb_mpl() > large.rule_of_thumb_mpl()
+
+    def test_throughput_curve_shape(self):
+        model = TayModel(db_size=500, locks_per_txn=10)
+        levels = list(range(1, 200, 5))
+        curve = model.throughput_curve(levels)
+        peak_index = curve.index(max(curve))
+        # the curve rises and eventually falls: the peak is interior
+        assert 0 < peak_index < len(curve) - 1
+
+    @given(db_size=st.integers(min_value=100, max_value=100000),
+           k=st.integers(min_value=1, max_value=30),
+           n=st.floats(min_value=1.0, max_value=1000.0))
+    @settings(max_examples=80, deadline=None)
+    def test_invariants_property(self, db_size, k, n):
+        model = TayModel(db_size=db_size, locks_per_txn=k)
+        blocked = model.blocked_transactions(n)
+        assert 0.0 <= blocked <= max(0.0, n - 1.0) + 1e-9
+        assert 0.0 <= model.conflict_probability(n) <= 1.0
+        assert model.active_transactions(n) == pytest.approx(n - blocked)

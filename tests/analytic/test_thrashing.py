@@ -1,0 +1,101 @@
+"""Tests for thrashing-curve classification helpers."""
+
+import math
+
+import pytest
+
+from repro.analytic.synthetic import SyntheticOverloadFunction
+from repro.analytic.thrashing import classify_phases, find_optimum, thrashing_onset
+
+
+def thrashing_curve():
+    """A synthetic figure-1 shaped curve sampled at a few loads."""
+    function = SyntheticOverloadFunction(optimum_position=100.0, peak_performance=60.0,
+                                         overload_decay=1.2)
+    return [(load, function.value(load)) for load in range(10, 400, 20)]
+
+
+def saturating_curve():
+    """A curve that saturates but never drops (no thrashing)."""
+    return [(float(load), 60.0 * (1.0 - math.exp(-load / 40.0))) for load in range(10, 400, 20)]
+
+
+class TestFindOptimum:
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            find_optimum([])
+
+    def test_finds_peak_of_thrashing_curve(self):
+        load, value = find_optimum(thrashing_curve())
+        assert 70 <= load <= 130
+        assert value == pytest.approx(60.0, rel=0.05)
+
+    def test_saturating_curve_peak_at_the_end(self):
+        load, _value = find_optimum(saturating_curve())
+        assert load == 390.0
+
+    def test_input_order_does_not_matter(self):
+        curve = thrashing_curve()
+        assert find_optimum(curve) == find_optimum(list(reversed(curve)))
+
+
+class TestThrashingOnset:
+    def test_detects_onset_beyond_optimum(self):
+        onset = thrashing_onset(thrashing_curve(), drop_fraction=0.2)
+        optimum_load, _ = find_optimum(thrashing_curve())
+        assert onset > optimum_load
+        assert math.isfinite(onset)
+
+    def test_no_onset_for_saturating_curve(self):
+        assert thrashing_onset(saturating_curve()) == math.inf
+
+    def test_drop_fraction_validation(self):
+        with pytest.raises(ValueError):
+            thrashing_onset(thrashing_curve(), drop_fraction=0.0)
+        with pytest.raises(ValueError):
+            thrashing_onset(thrashing_curve(), drop_fraction=1.0)
+
+    def test_larger_drop_fraction_detected_later(self):
+        early = thrashing_onset(thrashing_curve(), drop_fraction=0.1)
+        late = thrashing_onset(thrashing_curve(), drop_fraction=0.5)
+        assert late >= early
+
+
+class TestClassifyPhases:
+    def test_three_phases_present_in_thrashing_curve(self):
+        phases = classify_phases(thrashing_curve())
+        assert phases.underload
+        assert phases.saturation
+        assert phases.overload
+        assert phases.has_thrashing
+
+    def test_no_overload_phase_in_saturating_curve(self):
+        phases = classify_phases(saturating_curve())
+        assert not phases.has_thrashing
+
+    def test_every_point_classified_exactly_once(self):
+        curve = thrashing_curve()
+        phases = classify_phases(curve)
+        total = len(phases.underload) + len(phases.saturation) + len(phases.overload)
+        assert total == len(curve)
+
+    def test_optimum_recorded(self):
+        phases = classify_phases(thrashing_curve())
+        assert phases.peak_throughput == pytest.approx(60.0, rel=0.05)
+        assert 70 <= phases.optimum_load <= 130
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            classify_phases(thrashing_curve(), saturation_fraction=0.0)
+        with pytest.raises(ValueError):
+            classify_phases(thrashing_curve(), overload_fraction=1.5)
+
+    def test_underload_points_precede_optimum(self):
+        phases = classify_phases(thrashing_curve())
+        for load, _value in phases.underload:
+            assert load <= phases.optimum_load
+
+    def test_overload_points_follow_optimum(self):
+        phases = classify_phases(thrashing_curve())
+        for load, _value in phases.overload:
+            assert load > phases.optimum_load

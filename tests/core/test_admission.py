@@ -1,0 +1,150 @@
+"""Tests for the admission gate."""
+
+import math
+
+import pytest
+
+from repro.core.admission import AdmissionGate
+from repro.sim.engine import SimulationError, Simulator
+from repro.tp.transaction import Transaction, TransactionClass
+
+
+def make_txn(txn_id):
+    return Transaction(
+        txn_id=txn_id,
+        terminal_id=0,
+        txn_class=TransactionClass.QUERY,
+        items=(txn_id,),
+        write_flags=(False,),
+        submitted_at=0.0,
+    )
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestAdmission:
+    def test_limit_validation(self, sim):
+        with pytest.raises(ValueError):
+            AdmissionGate(sim, initial_limit=0)
+        gate = AdmissionGate(sim, initial_limit=5)
+        with pytest.raises(ValueError):
+            gate.set_limit(0)
+
+    def test_admits_immediately_below_limit(self, sim):
+        gate = AdmissionGate(sim, initial_limit=3)
+        events = [gate.submit(make_txn(i)) for i in range(3)]
+        assert all(event.triggered for event in events)
+        assert gate.current_load == 3
+        assert gate.queue_length == 0
+
+    def test_queues_beyond_limit(self, sim):
+        gate = AdmissionGate(sim, initial_limit=2)
+        for i in range(2):
+            gate.submit(make_txn(i))
+        waiting = gate.submit(make_txn(99))
+        assert not waiting.triggered
+        assert gate.queue_length == 1
+
+    def test_departure_admits_next_waiter_fcfs(self, sim):
+        gate = AdmissionGate(sim, initial_limit=1)
+        first = make_txn(1)
+        gate.submit(first)
+        second_event = gate.submit(make_txn(2))
+        third_event = gate.submit(make_txn(3))
+        gate.depart(first)
+        assert second_event.triggered
+        assert not third_event.triggered
+        assert gate.current_load == 1
+
+    def test_departure_of_unknown_transaction_raises(self, sim):
+        gate = AdmissionGate(sim)
+        with pytest.raises(SimulationError):
+            gate.depart(make_txn(1))
+
+    def test_raising_the_limit_admits_waiters(self, sim):
+        gate = AdmissionGate(sim, initial_limit=1)
+        gate.submit(make_txn(1))
+        waiting = [gate.submit(make_txn(i)) for i in range(2, 6)]
+        gate.set_limit(3)
+        assert sum(event.triggered for event in waiting) == 2
+        assert gate.current_load == 3
+
+    def test_lowering_the_limit_does_not_evict(self, sim):
+        gate = AdmissionGate(sim, initial_limit=5)
+        transactions = [make_txn(i) for i in range(5)]
+        for txn in transactions:
+            gate.submit(txn)
+        gate.set_limit(2)
+        assert gate.current_load == 5  # admission control alone never aborts
+        # but departures do not re-admit until the load drops below the limit
+        gate.depart(transactions[0])
+        assert gate.current_load == 4
+
+    def test_admitted_at_is_stamped(self, sim):
+        gate = AdmissionGate(sim, initial_limit=1)
+        sim._now = 3.5
+        txn = make_txn(1)
+        gate.submit(txn)
+        assert txn.admitted_at == 3.5
+
+    def test_fcfs_order_preserved_across_limit_changes(self, sim):
+        gate = AdmissionGate(sim, initial_limit=1)
+        gate.submit(make_txn(0))
+        events = [gate.submit(make_txn(i)) for i in range(1, 5)]
+        gate.set_limit(2)
+        assert events[0].triggered
+        assert not events[1].triggered
+        gate.set_limit(4)
+        assert events[1].triggered and events[2].triggered
+        assert not events[3].triggered
+
+    def test_cancel_waiting_transaction(self, sim):
+        gate = AdmissionGate(sim, initial_limit=1)
+        first = make_txn(1)
+        gate.submit(first)
+        waiting = make_txn(2)
+        event = gate.submit(waiting)
+        assert gate.cancel(waiting) is True
+        assert gate.queue_length == 0
+        assert event.triggered and not event.ok
+        # cancelling something that is not queued is a no-op
+        assert gate.cancel(make_txn(3)) is False
+
+    def test_infinite_limit_never_queues(self, sim):
+        gate = AdmissionGate(sim)
+        for i in range(100):
+            gate.submit(make_txn(i))
+        assert gate.queue_length == 0
+        assert gate.current_load == 100
+
+
+class TestGateStatistics:
+    def test_counters(self, sim):
+        gate = AdmissionGate(sim, initial_limit=2)
+        transactions = [make_txn(i) for i in range(3)]
+        for txn in transactions:
+            gate.submit(txn)
+        gate.depart(transactions[0])
+        assert gate.total_admitted == 3  # the third was admitted after the departure
+        assert gate.total_departed == 1
+
+    def test_mean_load_time_weighted(self, sim):
+        gate = AdmissionGate(sim, initial_limit=10)
+        txn = make_txn(1)
+        gate.submit(txn)          # load 1 from t=0
+        sim._now = 4.0
+        gate.depart(txn)          # load 0 from t=4
+        sim._now = 8.0
+        assert gate.mean_load() == pytest.approx(0.5)
+
+    def test_reset_statistics(self, sim):
+        gate = AdmissionGate(sim, initial_limit=10)
+        txn = make_txn(1)
+        gate.submit(txn)
+        sim._now = 4.0
+        gate.reset_statistics()
+        sim._now = 8.0
+        assert gate.mean_load() == pytest.approx(1.0)

@@ -1,0 +1,136 @@
+"""Tests for alternative performance indices (Section 6) and the PA collapse guard."""
+
+import pytest
+
+from repro.analytic.synthetic import DynamicOptimumScenario, SyntheticSystem
+from repro.core.controller import (
+    effective_utilisation_index,
+    inverse_response_time_index,
+    throughput_index,
+)
+from repro.core.incremental_steps import IncrementalStepsController
+from repro.core.parabola import ParabolaController
+from repro.core.types import IntervalMeasurement
+from repro.tp.workload import ConstantSchedule, JumpSchedule
+
+
+def measurement(throughput=50.0, concurrency=20.0, limit=25.0, commits=100,
+                aborts=0, response_time=0.5):
+    return IntervalMeasurement(
+        time=1.0,
+        interval_length=1.0,
+        throughput=throughput,
+        mean_concurrency=concurrency,
+        concurrency_at_sample=concurrency,
+        current_limit=limit,
+        commits=commits,
+        aborts=aborts,
+        mean_response_time=response_time,
+    )
+
+
+class TestIndexFunctions:
+    def test_throughput_index(self):
+        assert throughput_index(measurement(throughput=42.0)) == 42.0
+
+    def test_effective_utilisation_index_penalises_restarts(self):
+        clean = effective_utilisation_index(measurement(throughput=50.0, commits=100, aborts=0))
+        wasteful = effective_utilisation_index(measurement(throughput=50.0, commits=100, aborts=100))
+        assert clean == pytest.approx(50.0)
+        assert wasteful == pytest.approx(25.0)
+
+    def test_inverse_response_time_index(self):
+        assert inverse_response_time_index(measurement(response_time=0.25)) == pytest.approx(4.0)
+
+    def test_inverse_response_time_falls_back_to_throughput(self):
+        empty = measurement(throughput=10.0, response_time=0.0, commits=0)
+        assert inverse_response_time_index(empty) == 10.0
+
+
+class TestControllersWithCustomIndex:
+    def test_default_index_is_throughput(self):
+        controller = IncrementalStepsController(initial_limit=10)
+        assert controller.performance_of(measurement(throughput=33.0)) == 33.0
+
+    def test_is_controller_accepts_custom_index(self):
+        controller = IncrementalStepsController(
+            initial_limit=10, performance_index=effective_utilisation_index)
+        value = controller.performance_of(measurement(throughput=50.0, commits=50, aborts=50))
+        assert value == pytest.approx(25.0)
+
+    def test_pa_controller_accepts_custom_index(self):
+        controller = ParabolaController(
+            initial_limit=10, upper_bound=100,
+            performance_index=lambda m: m.throughput * 2.0)
+        assert controller.performance_of(measurement(throughput=10.0)) == 20.0
+
+    def test_pa_with_custom_index_still_finds_optimum(self):
+        """The index is a monotone transform, so the optimum stays put."""
+        scenario = DynamicOptimumScenario.constant(position=60.0, height=100.0)
+        controller = ParabolaController(
+            initial_limit=10, lower_bound=2, upper_bound=200,
+            probe_amplitude=3.0, forgetting=0.9, max_move=30.0,
+            performance_index=lambda m: 0.5 * m.throughput)
+        plant = SyntheticSystem(scenario, controller, interval=1.0, noise_std=0.5, seed=9)
+        plant.run(250)
+        settled = plant.trace.limits[-50:]
+        assert sum(settled) / len(settled) == pytest.approx(60.0, abs=12.0)
+
+
+class TestCollapseGuard:
+    def test_collapse_triggers_strong_backoff(self):
+        controller = ParabolaController(initial_limit=100, lower_bound=2, upper_bound=400,
+                                        probe_amplitude=0.0, max_move=30.0, forgetting=0.9)
+        # healthy samples establish a recent-best throughput
+        for index in range(5):
+            controller.update(measurement(throughput=100.0, concurrency=100.0,
+                                          limit=controller.current_limit))
+        limit_before = controller.current_limit
+        # throughput collapses while the load is still at the threshold
+        controller.update(measurement(throughput=1.0, concurrency=controller.current_limit,
+                                      limit=controller.current_limit))
+        assert controller.collapse_events == 1
+        assert controller.current_limit <= limit_before - 29.0
+
+    def test_no_collapse_when_load_not_realized(self):
+        controller = ParabolaController(initial_limit=100, lower_bound=2, upper_bound=400,
+                                        probe_amplitude=0.0, max_move=30.0)
+        for index in range(5):
+            controller.update(measurement(throughput=100.0, concurrency=100.0,
+                                          limit=controller.current_limit))
+        # the offered load went away: low throughput but low concurrency too
+        controller.update(measurement(throughput=1.0, concurrency=2.0,
+                                      limit=controller.current_limit))
+        assert controller.collapse_events == 0
+
+    def test_collapse_guard_can_be_disabled(self):
+        controller = ParabolaController(initial_limit=100, lower_bound=2, upper_bound=400,
+                                        probe_amplitude=0.0, collapse_fraction=0.0)
+        for index in range(5):
+            controller.update(measurement(throughput=100.0, concurrency=100.0,
+                                          limit=controller.current_limit))
+        controller.update(measurement(throughput=0.0, concurrency=controller.current_limit,
+                                      limit=controller.current_limit))
+        assert controller.collapse_events == 0
+
+    def test_collapse_parameters_validated(self):
+        with pytest.raises(ValueError):
+            ParabolaController(collapse_fraction=1.5)
+        with pytest.raises(ValueError):
+            ParabolaController(best_decay=0.0)
+
+    def test_recovery_from_deep_overload_on_synthetic_plant(self):
+        """Figure 8: the optimum drops far below the current threshold."""
+        scenario = DynamicOptimumScenario(
+            position=JumpSchedule(200.0, 50.0, jump_time=100.0),
+            height=ConstantSchedule(100.0),
+            overload_decay=2.5)
+        controller = ParabolaController(initial_limit=60, lower_bound=2, upper_bound=500,
+                                        probe_amplitude=4.0, max_move=40.0, forgetting=0.85)
+        plant = SyntheticSystem(scenario, controller, interval=1.0, noise_std=2.0, seed=10)
+        plant.run(300)
+        settled = plant.trace.limits[-50:]
+        # the controller walked back out of the dead zone and sits near 50
+        assert sum(settled) / len(settled) == pytest.approx(50.0, abs=20.0)
+        throughput_tail = plant.trace.throughput[-50:]
+        assert sum(throughput_tail) / len(throughput_tail) > 60.0

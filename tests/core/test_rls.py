@@ -1,0 +1,136 @@
+"""Tests for the recursive least-squares estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rls import RecursiveLeastSquares
+
+
+class TestValidation:
+    def test_dimension_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RecursiveLeastSquares(dimension=0)
+
+    def test_forgetting_range(self):
+        with pytest.raises(ValueError):
+            RecursiveLeastSquares(dimension=2, forgetting=0.0)
+        with pytest.raises(ValueError):
+            RecursiveLeastSquares(dimension=2, forgetting=1.5)
+
+    def test_initial_covariance_positive(self):
+        with pytest.raises(ValueError):
+            RecursiveLeastSquares(dimension=2, initial_covariance=0.0)
+
+    def test_regressor_shape_checked(self):
+        rls = RecursiveLeastSquares(dimension=3)
+        with pytest.raises(ValueError):
+            rls.update([1.0, 2.0], 1.0)
+        with pytest.raises(ValueError):
+            rls.predict([1.0])
+
+
+class TestEstimation:
+    def test_recovers_linear_model_without_noise(self):
+        rls = RecursiveLeastSquares(dimension=2, forgetting=1.0)
+        true_theta = np.array([3.0, -2.0])
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            x = np.array([1.0, rng.uniform(-5, 5)])
+            rls.update(x, float(x @ true_theta))
+        np.testing.assert_allclose(rls.theta, true_theta, atol=1e-3)
+
+    def test_recovers_quadratic_model(self):
+        rls = RecursiveLeastSquares(dimension=3, forgetting=1.0)
+        a0, a1, a2 = 5.0, 2.0, -0.1
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            n = rng.uniform(0, 40)
+            y = a0 + a1 * n + a2 * n * n
+            rls.update([1.0, n, n * n], y)
+        np.testing.assert_allclose(rls.theta, [a0, a1, a2], atol=1e-3)
+
+    def test_noisy_estimation_close_to_truth(self):
+        rls = RecursiveLeastSquares(dimension=2, forgetting=1.0)
+        true_theta = np.array([1.5, 0.7])
+        rng = np.random.default_rng(2)
+        for _ in range(3000):
+            x = np.array([1.0, rng.uniform(-10, 10)])
+            rls.update(x, float(x @ true_theta) + rng.normal(0, 0.5))
+        np.testing.assert_allclose(rls.theta, true_theta, atol=0.05)
+
+    def test_forgetting_tracks_changed_model(self):
+        """With fading memory the estimator follows an abrupt model change."""
+        rls = RecursiveLeastSquares(dimension=2, forgetting=0.85)
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            x = np.array([1.0, rng.uniform(-5, 5)])
+            rls.update(x, float(x @ np.array([1.0, 1.0])))
+        for _ in range(200):
+            x = np.array([1.0, rng.uniform(-5, 5)])
+            rls.update(x, float(x @ np.array([-4.0, 2.0])))
+        np.testing.assert_allclose(rls.theta, [-4.0, 2.0], atol=0.05)
+
+    def test_no_forgetting_averages_changed_model(self):
+        """Without fading memory the old model keeps polluting the estimate."""
+        fading = RecursiveLeastSquares(dimension=2, forgetting=0.85)
+        infinite = RecursiveLeastSquares(dimension=2, forgetting=1.0)
+        rng = np.random.default_rng(4)
+        for estimator in (fading, infinite):
+            rng = np.random.default_rng(4)
+            for _ in range(200):
+                x = np.array([1.0, rng.uniform(-5, 5)])
+                estimator.update(x, float(x @ np.array([1.0, 1.0])))
+            for _ in range(100):
+                x = np.array([1.0, rng.uniform(-5, 5)])
+                estimator.update(x, float(x @ np.array([-4.0, 2.0])))
+        fading_error = np.linalg.norm(fading.theta - np.array([-4.0, 2.0]))
+        infinite_error = np.linalg.norm(infinite.theta - np.array([-4.0, 2.0]))
+        assert fading_error < infinite_error
+
+    def test_predict_matches_theta(self):
+        rls = RecursiveLeastSquares(dimension=2, forgetting=1.0)
+        for x1 in range(1, 20):
+            rls.update([1.0, float(x1)], 2.0 + 3.0 * x1)
+        assert rls.predict([1.0, 10.0]) == pytest.approx(32.0, abs=1e-3)
+
+    def test_effective_memory(self):
+        assert RecursiveLeastSquares(2, forgetting=0.9).effective_memory == pytest.approx(10.0)
+        assert RecursiveLeastSquares(2, forgetting=1.0).effective_memory == float("inf")
+
+    def test_covariance_stays_bounded_without_excitation(self):
+        rls = RecursiveLeastSquares(dimension=2, forgetting=0.9,
+                                    max_covariance_trace=1e6)
+        # the same regressor over and over: the unexcited direction's variance
+        # would blow up geometrically without the trace guard
+        for _ in range(2000):
+            rls.update([1.0, 5.0], 10.0)
+        assert np.trace(rls.covariance) <= 1e6 * 1.01
+        assert np.all(np.isfinite(rls.covariance))
+
+    def test_reset_with_seed(self):
+        rls = RecursiveLeastSquares(dimension=2)
+        rls.update([1.0, 2.0], 3.0)
+        rls.reset([7.0, 8.0])
+        np.testing.assert_allclose(rls.theta, [7.0, 8.0])
+        assert rls.samples == 0
+        with pytest.raises(ValueError):
+            rls.reset([1.0])
+
+    def test_samples_counter(self):
+        rls = RecursiveLeastSquares(dimension=1)
+        for value in range(5):
+            rls.update([1.0], float(value))
+        assert rls.samples == 5
+
+    @given(theta0=st.floats(min_value=-50, max_value=50),
+           theta1=st.floats(min_value=-5, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_recovery_property(self, theta0, theta1):
+        rls = RecursiveLeastSquares(dimension=2, forgetting=1.0)
+        for n in range(60):
+            x = [1.0, float(n)]
+            rls.update(x, theta0 + theta1 * n)
+        assert rls.predict([1.0, 100.0]) == pytest.approx(theta0 + theta1 * 100.0,
+                                                          rel=1e-4, abs=1e-3)

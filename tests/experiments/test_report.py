@@ -1,0 +1,101 @@
+"""Tests for the plain-text report formatting."""
+
+import pytest
+
+from repro.core.types import ControlTrace, IntervalMeasurement
+from repro.experiments.dynamic import TrackingResult
+from repro.experiments.report import (
+    format_comparison,
+    format_series_table,
+    format_sweep_table,
+    format_table,
+)
+from repro.experiments.stationary import StationaryPoint, StationarySweep
+from repro.experiments.tracking import compute_tracking_metrics
+
+
+def make_point(load, throughput):
+    return StationaryPoint(
+        offered_load=load, throughput=throughput, mean_response_time=0.2,
+        mean_concurrency=load / 2, restart_ratio=0.1, cpu_utilisation=0.8,
+        final_limit=float(load), commits=1000)
+
+
+def make_sweep(label, pairs):
+    sweep = StationarySweep(label=label)
+    for load, throughput in pairs:
+        sweep.points.append(make_point(load, throughput))
+    return sweep
+
+
+def make_tracking_result():
+    trace = ControlTrace()
+    for time in (1.0, 2.0, 3.0):
+        measurement = IntervalMeasurement(
+            time=time, interval_length=1.0, throughput=40.0,
+            mean_concurrency=20.0, concurrency_at_sample=20.0,
+            current_limit=25.0, commits=40)
+        trace.append(measurement, 25.0)
+    return TrackingResult(controller="pa", varied_parameter="accesses", trace=trace,
+                          reference_optima=[22.0, 22.0, 22.0],
+                          reference_peaks=[50.0, 50.0, 50.0])
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        table = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        lines = table.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4
+        assert "2.50" in lines[2]
+
+    def test_column_widths_accommodate_long_cells(self):
+        table = format_table(["short"], [["a very long cell value"]])
+        header, separator, row = table.splitlines()
+        assert len(separator) >= len("a very long cell value")
+
+
+class TestSweepTable:
+    def test_requires_at_least_one_sweep(self):
+        with pytest.raises(ValueError):
+            format_sweep_table([])
+
+    def test_one_row_per_offered_load(self):
+        without = make_sweep("without control", [(100, 50.0), (200, 30.0)])
+        with_control = make_sweep("with control", [(100, 52.0), (200, 51.0)])
+        table = format_sweep_table([without, with_control])
+        lines = table.splitlines()
+        assert len(lines) == 2 + 2  # header + separator + two loads
+        assert "without control" in lines[0]
+        assert "with control" in lines[0]
+
+    def test_missing_load_rendered_as_dash(self):
+        without = make_sweep("without control", [(100, 50.0), (200, 30.0)])
+        partial = make_sweep("with control", [(100, 52.0)])
+        table = format_sweep_table([without, partial])
+        assert "-" in table.splitlines()[-1]
+
+
+class TestSeriesTable:
+    def test_contains_threshold_and_reference_columns(self):
+        table = format_series_table(make_tracking_result())
+        assert "n* (threshold)" in table
+        assert "n_opt (reference)" in table
+        assert len(table.splitlines()) == 2 + 3
+
+    def test_subsampling(self):
+        table = format_series_table(make_tracking_result(), every=2)
+        assert len(table.splitlines()) == 2 + 2  # rows at indices 0 and 2
+
+    def test_every_validation(self):
+        with pytest.raises(ValueError):
+            format_series_table(make_tracking_result(), every=0)
+
+
+class TestComparisonTable:
+    def test_one_row_per_controller(self):
+        metrics = compute_tracking_metrics(make_tracking_result())
+        table = format_comparison({"IS": metrics, "PA": metrics})
+        lines = table.splitlines()
+        assert len(lines) == 2 + 2
+        assert "IS" in table and "PA" in table

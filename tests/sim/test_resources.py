@@ -1,0 +1,279 @@
+"""Tests for FCFS resources and stores."""
+
+import pytest
+
+from repro.sim.engine import Interrupt, SimulationError, Simulator
+from repro.sim.resources import Resource, Store
+
+
+class TestResourceBasics:
+    def test_capacity_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim, 0)
+
+    def test_grant_immediately_when_capacity_available(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        first = resource.request()
+        second = resource.request()
+        assert first.granted and second.granted
+        assert resource.in_use == 2
+        assert resource.queue_length == 0
+
+    def test_requests_beyond_capacity_wait(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        assert first.granted
+        assert not second.granted
+        assert resource.queue_length == 1
+
+    def test_release_grants_next_waiter_fcfs(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        resource.release(first)
+        assert second.granted
+        assert not third.granted
+        resource.release(second)
+        assert third.granted
+
+    def test_double_release_raises(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        request = resource.request()
+        resource.release(request)
+        with pytest.raises(SimulationError):
+            resource.release(request)
+
+    def test_cancel_waiting_request_is_skipped(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        holder = resource.request()
+        waiting_a = resource.request()
+        waiting_b = resource.request()
+        waiting_a.cancel()
+        resource.release(holder)
+        assert not waiting_a.granted
+        assert waiting_b.granted
+
+    def test_cancel_granted_request_releases(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        holder = resource.request()
+        waiter = resource.request()
+        holder.cancel()
+        assert waiter.granted
+        assert resource.in_use == 1
+
+    def test_cancel_twice_is_noop(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        holder = resource.request()
+        holder.cancel()
+        holder.cancel()
+        assert resource.in_use == 0
+
+
+class TestResourceInProcesses:
+    def test_serialised_use_with_single_server(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        completions = []
+
+        def worker(name):
+            request = resource.request()
+            yield request
+            yield sim.timeout(2.0)
+            resource.release(request)
+            completions.append((name, sim.now))
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.process(worker("c"))
+        sim.run(until=10.0)
+        assert completions == [("a", 2.0), ("b", 4.0), ("c", 6.0)]
+
+    def test_parallel_use_with_multiple_servers(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=3)
+        completions = []
+
+        def worker(name):
+            request = resource.request()
+            yield request
+            yield sim.timeout(2.0)
+            resource.release(request)
+            completions.append((name, sim.now))
+
+        for name in "abc":
+            sim.process(worker(name))
+        sim.run(until=10.0)
+        assert [time for _name, time in completions] == [2.0, 2.0, 2.0]
+
+    def test_interrupted_waiter_can_cancel_cleanly(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        outcomes = []
+
+        def holder():
+            request = resource.request()
+            yield request
+            yield sim.timeout(10.0)
+            resource.release(request)
+
+        def impatient():
+            request = resource.request()
+            try:
+                yield request
+            except Interrupt:
+                request.cancel()
+                outcomes.append("gave up")
+                return
+            resource.release(request)
+            outcomes.append("served")
+
+        sim.process(holder())
+        impatient_process = sim.process(impatient())
+        sim.call_in(2.0, lambda: impatient_process.interrupt())
+        sim.run(until=20.0)
+        assert outcomes == ["gave up"]
+        assert resource.queue_length == 0
+        # the resource must still be usable afterwards
+        assert resource.in_use == 0
+
+    def test_utilisation_of_single_server(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            request = resource.request()
+            yield request
+            yield sim.timeout(4.0)
+            resource.release(request)
+
+        sim.process(worker())
+        sim.run(until=8.0)
+        assert resource.utilisation() == pytest.approx(0.5)
+
+    def test_mean_queue_length(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            request = resource.request()
+            yield request
+            yield sim.timeout(5.0)
+            resource.release(request)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run(until=10.0)
+        # one worker queued for the first five seconds of a ten second run
+        assert resource.mean_queue_length() == pytest.approx(0.5)
+
+    def test_reset_statistics(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            request = resource.request()
+            yield request
+            yield sim.timeout(4.0)
+            resource.release(request)
+
+        sim.process(worker())
+        sim.run(until=4.0)
+        resource.reset_statistics()
+        sim.run(until=8.0)
+        assert resource.utilisation(since=4.0) == pytest.approx(0.0)
+
+    def test_total_wait_time_accumulates(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            request = resource.request()
+            yield request
+            yield sim.timeout(3.0)
+            resource.release(request)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run(until=10.0)
+        assert resource.total_requests == 2
+        assert resource.total_wait_time == pytest.approx(3.0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("item")
+        received = []
+
+        def getter():
+            value = yield store.get()
+            received.append(value)
+
+        sim.process(getter())
+        sim.run(until=1.0)
+        assert received == ["item"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        received = []
+
+        def getter():
+            value = yield store.get()
+            received.append((value, sim.now))
+
+        sim.process(getter())
+        sim.call_in(3.0, lambda: store.put("late item"))
+        sim.run(until=5.0)
+        assert received == [("late item", 3.0)]
+
+    def test_fifo_ordering_of_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        for value in (1, 2, 3):
+            store.put(value)
+        received = []
+
+        def getter():
+            for _ in range(3):
+                value = yield store.get()
+                received.append(value)
+
+        sim.process(getter())
+        sim.run(until=1.0)
+        assert received == [1, 2, 3]
+
+    def test_fifo_ordering_of_getters(self):
+        sim = Simulator()
+        store = Store(sim)
+        received = []
+
+        def getter(name):
+            value = yield store.get()
+            received.append((name, value))
+
+        sim.process(getter("first"))
+        sim.process(getter("second"))
+        sim.call_in(1.0, lambda: store.put("a"))
+        sim.call_in(2.0, lambda: store.put("b"))
+        sim.run(until=5.0)
+        assert received == [("first", "a"), ("second", "b")]
+
+    def test_size_and_waiting_counters(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.size == 0
+        store.put(1)
+        assert store.size == 1
+        assert store.waiting_getters == 0

@@ -1,0 +1,233 @@
+"""Tests for the statistics utilities."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stats import (
+    BatchMeans,
+    ObservationStats,
+    TimeWeightedStats,
+    confidence_interval,
+    required_observations,
+)
+
+
+class TestObservationStats:
+    def test_empty_stats_are_zero(self):
+        stats = ObservationStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert stats.stddev == 0.0
+
+    def test_single_observation(self):
+        stats = ObservationStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+        assert stats.minimum == 5.0
+        assert stats.maximum == 5.0
+
+    def test_mean_and_variance_match_numpy(self):
+        values = [3.1, -2.0, 7.5, 0.0, 11.2, 4.4]
+        stats = ObservationStats()
+        for value in values:
+            stats.add(value)
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.variance == pytest.approx(np.var(values, ddof=1))
+        assert stats.total == pytest.approx(sum(values))
+
+    def test_merge_equivalent_to_combined(self):
+        left_values = [1.0, 2.0, 3.0]
+        right_values = [10.0, 20.0, 30.0, 40.0]
+        left = ObservationStats()
+        right = ObservationStats()
+        for value in left_values:
+            left.add(value)
+        for value in right_values:
+            right.add(value)
+        left.merge(right)
+        combined = left_values + right_values
+        assert left.count == len(combined)
+        assert left.mean == pytest.approx(np.mean(combined))
+        assert left.variance == pytest.approx(np.var(combined, ddof=1))
+
+    def test_merge_into_empty(self):
+        left = ObservationStats()
+        right = ObservationStats()
+        right.add(4.0)
+        right.add(6.0)
+        left.merge(right)
+        assert left.mean == pytest.approx(5.0)
+
+    def test_merge_empty_is_noop(self):
+        left = ObservationStats()
+        left.add(1.0)
+        left.merge(ObservationStats())
+        assert left.count == 1
+
+    def test_reset(self):
+        stats = ObservationStats()
+        stats.add(1.0)
+        stats.reset()
+        assert stats.count == 0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=2, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_welford_matches_numpy_property(self, values):
+        stats = ObservationStats()
+        for value in values:
+            stats.add(value)
+        assert stats.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+        assert stats.variance == pytest.approx(np.var(values, ddof=1), rel=1e-6, abs=1e-6)
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+
+class TestTimeWeightedStats:
+    def test_constant_value(self):
+        stats = TimeWeightedStats(0.0, 3.0)
+        assert stats.mean(10.0) == pytest.approx(3.0)
+
+    def test_step_function_average(self):
+        stats = TimeWeightedStats(0.0, 0.0)
+        stats.update(4.0, 10.0)   # value 0 for 4s, then 10
+        assert stats.mean(8.0) == pytest.approx(5.0)
+
+    def test_multiple_steps(self):
+        stats = TimeWeightedStats(0.0, 1.0)
+        stats.update(2.0, 3.0)
+        stats.update(5.0, 0.0)
+        # 1*2 + 3*3 + 0*5 over 10 seconds
+        assert stats.mean(10.0) == pytest.approx(1.1)
+
+    def test_non_monotone_time_raises(self):
+        stats = TimeWeightedStats(5.0, 1.0)
+        with pytest.raises(ValueError):
+            stats.update(4.0, 2.0)
+
+    def test_mean_before_last_update_raises(self):
+        stats = TimeWeightedStats(0.0, 1.0)
+        stats.update(5.0, 2.0)
+        with pytest.raises(ValueError):
+            stats.mean(4.0)
+
+    def test_min_max_tracking(self):
+        stats = TimeWeightedStats(0.0, 5.0)
+        stats.update(1.0, 2.0)
+        stats.update(2.0, 9.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+
+    def test_reset_restarts_window(self):
+        stats = TimeWeightedStats(0.0, 10.0)
+        stats.update(5.0, 0.0)
+        stats.reset(5.0)
+        assert stats.mean(10.0) == pytest.approx(0.0)
+        assert stats.current == 0.0
+
+    def test_zero_horizon_returns_current(self):
+        stats = TimeWeightedStats(2.0, 7.0)
+        assert stats.mean(2.0) == 7.0
+
+    @given(st.lists(st.tuples(st.floats(min_value=0.01, max_value=10.0),
+                              st.floats(min_value=-100, max_value=100)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_time_weighted_mean_within_bounds_property(self, steps):
+        stats = TimeWeightedStats(0.0, 0.0)
+        now = 0.0
+        values = [0.0]
+        for delta, value in steps:
+            now += delta
+            stats.update(now, value)
+            values.append(value)
+        end = now + 1.0
+        mean = stats.mean(end)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+class TestBatchMeans:
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BatchMeans(batch_size=0)
+
+    def test_batches_close_at_the_right_size(self):
+        batches = BatchMeans(batch_size=3)
+        for value in range(9):
+            batches.add(float(value))
+        assert batches.batch_count == 3
+        assert batches.mean == pytest.approx(4.0)
+
+    def test_half_width_infinite_with_few_batches(self):
+        batches = BatchMeans(batch_size=5)
+        for value in range(5):
+            batches.add(float(value))
+        assert batches.half_width() == math.inf
+
+    def test_half_width_shrinks_with_more_data(self):
+        rng = np.random.default_rng(0)
+        small = BatchMeans(batch_size=10)
+        large = BatchMeans(batch_size=10)
+        for value in rng.normal(10, 2, size=100):
+            small.add(float(value))
+        for value in rng.normal(10, 2, size=2000):
+            large.add(float(value))
+        assert large.half_width() < small.half_width()
+
+
+class TestConfidenceInterval:
+    def test_needs_two_samples(self):
+        assert confidence_interval([1.0]) == math.inf
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], confidence=1.5)
+
+    def test_identical_samples_zero_width(self):
+        assert confidence_interval([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_higher_confidence_wider_interval(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert confidence_interval(samples, 0.99) > confidence_interval(samples, 0.90)
+
+    def test_matches_scipy_t_interval(self):
+        from scipy import stats as scipy_stats
+
+        samples = [2.1, 2.9, 3.4, 1.8, 2.6, 3.1, 2.2]
+        half_width = confidence_interval(samples, 0.95)
+        mean = np.mean(samples)
+        sem = scipy_stats.sem(samples)
+        low, high = scipy_stats.t.interval(0.95, len(samples) - 1, loc=mean, scale=sem)
+        assert half_width == pytest.approx((high - low) / 2, rel=1e-6)
+
+
+class TestRequiredObservations:
+    def test_hundreds_of_departures_guideline(self):
+        # the paper's guidance: coefficient of variation around one and a
+        # 10% accuracy target need a few hundred departures
+        needed = required_observations(1.0, 0.1, 0.95)
+        assert 300 <= needed <= 500
+
+    def test_tighter_accuracy_needs_more(self):
+        assert required_observations(1.0, 0.05) > required_observations(1.0, 0.1)
+
+    def test_lower_variability_needs_fewer(self):
+        assert required_observations(0.3, 0.1) < required_observations(1.0, 0.1)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            required_observations(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            required_observations(1.0, 0.0)
+        with pytest.raises(ValueError):
+            required_observations(1.0, 0.1, confidence=2.0)
+
+    def test_at_least_one(self):
+        assert required_observations(0.0, 0.5) >= 1

@@ -1,0 +1,108 @@
+"""Tests for run metrics and interval accounting."""
+
+import pytest
+
+from repro.cc.base import AbortReason
+from repro.sim.engine import Simulator
+from repro.tp.metrics import IntervalCounters, RunMetrics
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def metrics(sim):
+    return RunMetrics(sim)
+
+
+class TestRunTotals:
+    def test_initially_empty(self, metrics):
+        assert metrics.commits == 0
+        assert metrics.total_aborts == 0
+        assert metrics.throughput() == 0.0
+        assert metrics.restart_ratio == 0.0
+        assert metrics.conflict_ratio == 0.0
+
+    def test_commit_recording(self, sim, metrics):
+        sim._now = 10.0
+        metrics.record_commit(response_time=2.0, conflicts=0)
+        metrics.record_commit(response_time=4.0, conflicts=1)
+        assert metrics.commits == 2
+        assert metrics.mean_response_time() == pytest.approx(3.0)
+        assert metrics.throughput() == pytest.approx(0.2)
+        assert metrics.conflict_ratio == pytest.approx(0.5)
+
+    def test_abort_recording_by_reason(self, metrics):
+        metrics.record_abort(AbortReason.CERTIFICATION)
+        metrics.record_abort(AbortReason.CERTIFICATION)
+        metrics.record_abort(AbortReason.DEADLOCK)
+        metrics.record_abort(AbortReason.DISPLACEMENT)
+        assert metrics.aborts_by_reason[AbortReason.CERTIFICATION] == 2
+        assert metrics.aborts_by_reason[AbortReason.DEADLOCK] == 1
+        assert metrics.aborts_by_reason[AbortReason.DISPLACEMENT] == 1
+        assert metrics.total_aborts == 4
+        # displacement does not count as a restart (no re-run follows inside
+        # the system), certification failures and deadlocks do
+        assert metrics.restarts == 3
+
+    def test_restart_ratio(self, metrics):
+        metrics.record_commit(1.0)
+        metrics.record_abort(AbortReason.CERTIFICATION)
+        metrics.record_abort(AbortReason.CERTIFICATION)
+        assert metrics.restart_ratio == pytest.approx(2.0)
+
+    def test_throughput_since(self, sim, metrics):
+        sim._now = 20.0
+        metrics.record_commit(1.0)
+        metrics.record_commit(1.0)
+        assert metrics.throughput(since=10.0) == pytest.approx(0.2)
+
+    def test_concurrency_time_average(self, sim, metrics):
+        metrics.record_concurrency(0)
+        sim._now = 5.0
+        metrics.record_concurrency(10)
+        sim._now = 10.0
+        assert metrics.mean_concurrency() == pytest.approx(5.0)
+
+    def test_reset_clears_counters(self, sim, metrics):
+        metrics.record_commit(1.0)
+        metrics.record_abort(AbortReason.CERTIFICATION)
+        sim._now = 5.0
+        metrics.reset()
+        assert metrics.commits == 0
+        assert metrics.total_aborts == 0
+        assert metrics.response_times.count == 0
+
+
+class TestIntervalAccounting:
+    def test_snapshot_returns_and_resets(self, sim, metrics):
+        metrics.record_commit(2.0, conflicts=1)
+        metrics.record_abort(AbortReason.CERTIFICATION, conflicts=2)
+        interval = metrics.snapshot_interval()
+        assert interval.commits == 1
+        assert interval.aborts == 1
+        assert interval.conflicts == 3
+        assert interval.mean_response_time() == pytest.approx(2.0)
+        # after the snapshot the next interval starts empty
+        follow_up = metrics.snapshot_interval()
+        assert follow_up.commits == 0
+        assert follow_up.aborts == 0
+
+    def test_interval_start_advances(self, sim, metrics):
+        assert metrics.interval_start == 0.0
+        sim._now = 7.0
+        metrics.snapshot_interval()
+        assert metrics.interval_start == 7.0
+
+    def test_run_totals_survive_snapshots(self, metrics):
+        metrics.record_commit(1.0)
+        metrics.snapshot_interval()
+        metrics.record_commit(1.0)
+        metrics.snapshot_interval()
+        assert metrics.commits == 2
+
+    def test_empty_interval_counters(self):
+        counters = IntervalCounters()
+        assert counters.mean_response_time() == 0.0

@@ -1,0 +1,112 @@
+"""Tests for system and workload parameter records."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tp.params import SystemParams, WorkloadParams
+
+
+class TestWorkloadParams:
+    def test_defaults_are_valid(self):
+        params = WorkloadParams()
+        assert params.db_size > params.accesses_per_txn
+
+    def test_db_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(db_size=0)
+
+    def test_accesses_bounded_by_db_size(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(db_size=10, accesses_per_txn=11)
+
+    def test_accesses_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(accesses_per_txn=0)
+
+    def test_query_fraction_range(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(query_fraction=1.2)
+        with pytest.raises(ValueError):
+            WorkloadParams(query_fraction=-0.1)
+
+    def test_write_fraction_range(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(write_fraction=2.0)
+
+    def test_with_changes_returns_new_object(self):
+        params = WorkloadParams()
+        changed = params.with_changes(accesses_per_txn=12)
+        assert changed.accesses_per_txn == 12
+        assert params.accesses_per_txn != 12
+        assert changed is not params
+
+    def test_with_changes_validates(self):
+        params = WorkloadParams(db_size=100)
+        with pytest.raises(ValueError):
+            params.with_changes(accesses_per_txn=1000)
+
+    def test_frozen(self):
+        params = WorkloadParams()
+        with pytest.raises(AttributeError):
+            params.db_size = 10
+
+
+class TestSystemParams:
+    def test_defaults_are_valid(self):
+        params = SystemParams()
+        assert params.n_terminals >= 1
+        assert params.n_cpus >= 1
+
+    def test_terminals_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SystemParams(n_terminals=0)
+
+    def test_cpus_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SystemParams(n_cpus=0)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            SystemParams(think_time=-1.0)
+        with pytest.raises(ValueError):
+            SystemParams(disk_per_access=-0.1)
+        with pytest.raises(ValueError):
+            SystemParams(restart_delay=-0.5)
+
+    def test_cpu_demand_per_execution(self):
+        params = SystemParams(cpu_init=0.01, cpu_per_access=0.002, cpu_commit=0.004,
+                              workload=WorkloadParams(accesses_per_txn=5))
+        assert params.cpu_demand_per_execution == pytest.approx(0.01 + 5 * 0.002 + 0.004)
+
+    def test_disk_demand_per_execution(self):
+        params = SystemParams(disk_per_access=0.02, disk_commit=0.01,
+                              workload=WorkloadParams(accesses_per_txn=4))
+        assert params.disk_demand_per_execution == pytest.approx(4 * 0.02 + 0.01)
+
+    def test_max_cpu_throughput(self):
+        params = SystemParams(n_cpus=4, cpu_init=0.0, cpu_per_access=0.01, cpu_commit=0.0,
+                              workload=WorkloadParams(accesses_per_txn=10))
+        assert params.max_cpu_throughput == pytest.approx(4 / 0.1)
+
+    def test_saturation_mpl_exceeds_cpu_count(self):
+        params = SystemParams()
+        assert params.saturation_mpl() >= params.n_cpus
+
+    def test_with_changes_nested_workload(self):
+        params = SystemParams()
+        changed = params.with_changes(workload=params.workload.with_changes(accesses_per_txn=3))
+        assert changed.workload.accesses_per_txn == 3
+
+    @given(k=st.integers(min_value=1, max_value=50),
+           cpus=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_derived_quantities_consistent_property(self, k, cpus):
+        params = SystemParams(n_cpus=cpus, workload=WorkloadParams(db_size=1000, accesses_per_txn=k))
+        assert params.cpu_demand_per_execution > 0
+        assert params.max_cpu_throughput == pytest.approx(
+            cpus / params.cpu_demand_per_execution
+        )
+        # saturation MPL is the level that keeps all CPUs busy, so it cannot
+        # be below the number of CPUs
+        assert params.saturation_mpl() >= cpus

@@ -1,0 +1,183 @@
+"""Tests for workload generation and dynamic parameter schedules."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.random_streams import RandomStreams
+from repro.tp.params import WorkloadParams
+from repro.tp.transaction import TransactionClass
+from repro.tp.workload import (
+    ConstantSchedule,
+    JumpSchedule,
+    SinusoidSchedule,
+    StepSchedule,
+    Workload,
+)
+
+
+class TestSchedules:
+    def test_constant_schedule(self):
+        schedule = ConstantSchedule(7.0)
+        assert schedule.value(0.0) == 7.0
+        assert schedule.value(1e6) == 7.0
+
+    def test_jump_schedule(self):
+        schedule = JumpSchedule(before=4, after=16, jump_time=100.0)
+        assert schedule.value(0.0) == 4
+        assert schedule.value(99.999) == 4
+        assert schedule.value(100.0) == 16
+        assert schedule.value(500.0) == 16
+
+    def test_step_schedule(self):
+        schedule = StepSchedule(initial=1.0, steps=[(10.0, 2.0), (20.0, 3.0)])
+        assert schedule.value(5.0) == 1.0
+        assert schedule.value(10.0) == 2.0
+        assert schedule.value(15.0) == 2.0
+        assert schedule.value(25.0) == 3.0
+
+    def test_step_schedule_sorts_breakpoints(self):
+        schedule = StepSchedule(initial=0.0, steps=[(20.0, 2.0), (10.0, 1.0)])
+        assert schedule.value(15.0) == 1.0
+
+    def test_sinusoid_schedule_range_and_period(self):
+        schedule = SinusoidSchedule(mean=10.0, amplitude=3.0, period=40.0)
+        values = [schedule.value(t) for t in range(0, 200)]
+        assert max(values) == pytest.approx(13.0, abs=0.01)
+        assert min(values) == pytest.approx(7.0, abs=0.01)
+        assert schedule.value(0.0) == pytest.approx(schedule.value(40.0))
+
+    def test_sinusoid_requires_positive_period(self):
+        with pytest.raises(ValueError):
+            SinusoidSchedule(mean=1.0, amplitude=0.5, period=0.0)
+
+    def test_schedule_is_callable(self):
+        assert JumpSchedule(1, 2, 5)(6.0) == 2
+
+
+class TestWorkloadParametersOverTime:
+    def test_params_at_reflects_schedules(self):
+        base = WorkloadParams(db_size=1000, accesses_per_txn=8)
+        workload = Workload.with_schedules(
+            base, RandomStreams(seed=1),
+            accesses=JumpSchedule(8, 16, 50.0),
+            query_fraction=ConstantSchedule(0.4),
+        )
+        early = workload.params_at(10.0)
+        late = workload.params_at(60.0)
+        assert early.accesses_per_txn == 8
+        assert late.accesses_per_txn == 16
+        assert early.query_fraction == pytest.approx(0.4)
+        # unscheduled parameters keep their base values
+        assert early.write_fraction == base.write_fraction
+
+    def test_params_at_clamps_to_valid_ranges(self):
+        base = WorkloadParams(db_size=100, accesses_per_txn=8)
+        workload = Workload.with_schedules(
+            base, RandomStreams(seed=1),
+            accesses=ConstantSchedule(1000.0),
+            query_fraction=ConstantSchedule(1.7),
+            write_fraction=ConstantSchedule(-0.3),
+        )
+        params = workload.params_at(0.0)
+        assert params.accesses_per_txn == 100
+        assert params.query_fraction == 1.0
+        assert params.write_fraction == 0.0
+
+    def test_accesses_rounded_and_at_least_one(self):
+        base = WorkloadParams(db_size=100, accesses_per_txn=8)
+        workload = Workload.with_schedules(
+            base, RandomStreams(seed=1), accesses=ConstantSchedule(0.2))
+        assert workload.params_at(0.0).accesses_per_txn == 1
+
+
+class TestTransactionSampling:
+    def test_transaction_ids_increase(self):
+        workload = Workload.constant(WorkloadParams(), RandomStreams(seed=1))
+        first = workload.next_transaction(0.0, terminal_id=0)
+        second = workload.next_transaction(1.0, terminal_id=1)
+        assert second.txn_id == first.txn_id + 1
+
+    def test_transaction_size_matches_parameters(self):
+        params = WorkloadParams(db_size=500, accesses_per_txn=12)
+        workload = Workload.constant(params, RandomStreams(seed=1))
+        txn = workload.next_transaction(0.0, 0)
+        assert txn.size == 12
+        assert len(set(txn.items)) == 12
+
+    def test_queries_have_no_writes(self):
+        params = WorkloadParams(query_fraction=1.0)
+        workload = Workload.constant(params, RandomStreams(seed=1))
+        for _ in range(20):
+            txn = workload.next_transaction(0.0, 0)
+            assert txn.txn_class is TransactionClass.QUERY
+            assert txn.is_read_only
+
+    def test_updaters_have_at_least_one_write(self):
+        params = WorkloadParams(query_fraction=0.0, write_fraction=0.05)
+        workload = Workload.constant(params, RandomStreams(seed=1))
+        for _ in range(50):
+            txn = workload.next_transaction(0.0, 0)
+            assert txn.txn_class is TransactionClass.UPDATER
+            assert txn.write_count >= 1
+
+    def test_zero_write_fraction_yields_read_only_updaters(self):
+        params = WorkloadParams(query_fraction=0.0, write_fraction=0.0)
+        workload = Workload.constant(params, RandomStreams(seed=1))
+        txn = workload.next_transaction(0.0, 0)
+        assert txn.write_count == 0
+
+    def test_class_mix_approximates_query_fraction(self):
+        params = WorkloadParams(query_fraction=0.3)
+        workload = Workload.constant(params, RandomStreams(seed=1))
+        queries = sum(
+            workload.next_transaction(0.0, 0).txn_class is TransactionClass.QUERY
+            for _ in range(3000)
+        )
+        assert queries / 3000 == pytest.approx(0.3, abs=0.03)
+
+    def test_write_mix_approximates_write_fraction(self):
+        params = WorkloadParams(query_fraction=0.0, write_fraction=0.4, accesses_per_txn=10)
+        workload = Workload.constant(params, RandomStreams(seed=1))
+        writes = 0
+        accesses = 0
+        for _ in range(2000):
+            txn = workload.next_transaction(0.0, 0)
+            writes += txn.write_count
+            accesses += txn.size
+        assert writes / accesses == pytest.approx(0.4, abs=0.03)
+
+    def test_jump_changes_sampled_transaction_size(self):
+        base = WorkloadParams(db_size=1000, accesses_per_txn=4)
+        workload = Workload.with_schedules(
+            base, RandomStreams(seed=1), accesses=JumpSchedule(4, 16, 100.0))
+        before = workload.next_transaction(50.0, 0)
+        after = workload.next_transaction(150.0, 0)
+        assert before.size == 4
+        assert after.size == 16
+
+    def test_submitted_at_recorded(self):
+        workload = Workload.constant(WorkloadParams(), RandomStreams(seed=1))
+        txn = workload.next_transaction(42.0, 7)
+        assert txn.submitted_at == 42.0
+        assert txn.terminal_id == 7
+
+    @given(query_fraction=st.floats(min_value=0.0, max_value=1.0),
+           write_fraction=st.floats(min_value=0.0, max_value=1.0),
+           k=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_sampled_transactions_always_valid_property(self, query_fraction, write_fraction, k):
+        params = WorkloadParams(db_size=200, accesses_per_txn=k,
+                                query_fraction=query_fraction,
+                                write_fraction=write_fraction)
+        workload = Workload.constant(params, RandomStreams(seed=3))
+        txn = workload.next_transaction(0.0, 0)
+        assert txn.size == k
+        assert len(set(txn.items)) == k
+        assert all(0 <= item < 200 for item in txn.items)
+        if txn.txn_class is TransactionClass.QUERY:
+            assert txn.is_read_only
+        elif write_fraction > 0:
+            assert txn.write_count >= 1

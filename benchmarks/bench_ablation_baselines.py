@@ -16,36 +16,29 @@ Expectations encoded as assertions:
 
 from conftest import run_once
 
-from repro.core.incremental_steps import IncrementalStepsController
-from repro.core.parabola import ParabolaController
-from repro.core.rules import IyerRule, TayRule
-from repro.core.static import FixedLimit, NoControl
 from repro.experiments.config import default_system_params
-from repro.experiments.dynamic import jump_scenario, run_tracking_experiment
+from repro.experiments.dynamic import jump_scenario, run_tracking_suite
 from repro.experiments.report import format_table
+from repro.runner import ControllerSpec, tracking_results
 from repro.tp.params import WorkloadParams
 
 
-def _policies(params):
-    upper = params.n_terminals
+def _policies():
     return {
-        "no control": lambda: NoControl(upper_bound=upper),
-        "fixed limit (tuned for small txns)": lambda: FixedLimit(40, upper_bound=upper),
-        "tay rule": lambda: TayRule(db_size=params.workload.db_size,
-                                    accesses_per_txn=params.workload.accesses_per_txn,
-                                    upper_bound=upper),
-        "iyer rule": lambda: IyerRule(target_conflicts=0.75, step=3.0, initial_limit=20,
-                                      upper_bound=upper),
-        "incremental steps": lambda: IncrementalStepsController(
-            initial_limit=20, beta=1.0, gamma=5, delta=10, min_step=2.0,
-            lower_bound=2, upper_bound=upper),
-        "parabola approximation": lambda: ParabolaController(
-            initial_limit=20, forgetting=0.9, probe_amplitude=3.0, max_move=30.0,
-            lower_bound=2, upper_bound=upper),
+        "no control": ControllerSpec.make("no_control"),
+        "fixed limit (tuned for small txns)": ControllerSpec.make("fixed", limit=40),
+        "tay rule": ControllerSpec.make("tay"),
+        "iyer rule": ControllerSpec.make("iyer"),
+        "incremental steps": ControllerSpec.make(
+            "incremental_steps", initial_limit=20, beta=1.0, gamma=5, delta=10,
+            min_step=2.0, lower_bound=2),
+        "parabola approximation": ControllerSpec.make(
+            "parabola", initial_limit=20, forgetting=0.9, probe_amplitude=3.0,
+            max_move=30.0, lower_bound=2),
     }
 
 
-def test_ablation_controllers_vs_baselines(benchmark, scale):
+def test_ablation_controllers_vs_baselines(benchmark, scale, workers, replicates):
     base = default_system_params(seed=29)
     params = base.with_changes(
         n_terminals=250,
@@ -54,16 +47,17 @@ def test_ablation_controllers_vs_baselines(benchmark, scale):
     scenario = jump_scenario("accesses", 6, 12, jump_time=scale.tracking_horizon / 2.0)
 
     def experiment():
-        rows = {}
-        for name, factory in _policies(params).items():
-            result = run_tracking_experiment(factory(), scenario, base_params=params,
-                                             scale=scale)
-            rows[name] = {
+        sweep_result = run_tracking_suite(
+            _policies(), scenario, base_params=params, scale=scale,
+            workers=workers, replicates=replicates, name="ablation_baselines")
+        return {
+            name: {
                 "commits": result.total_commits,
                 "mean_response_time": result.mean_response_time,
                 "mean_throughput": result.trace.mean_throughput(),
             }
-        return rows
+            for name, result in tracking_results(sweep_result).items()
+        }
 
     rows = run_once(benchmark, experiment)
 

@@ -2,25 +2,26 @@
 
 The paper's Figure 1 is a schematic of the three phases (underload,
 saturation, overload/thrashing).  This benchmark produces the measured
-counterpart: a stationary sweep of the offered load with *no* load control,
-classified into the three phases.  The reproduction succeeds if the curve
-rises, flattens and then drops -- i.e. the overload phase is non-empty and
-the peak lies strictly inside the measured range.
+counterpart through the runner's ``thrashing`` scenario: a stationary sweep
+of the offered load with *no* load control, classified into the three
+phases.  The reproduction succeeds if the curve rises, flattens and then
+drops -- i.e. the overload phase is non-empty and the peak lies strictly
+inside the measured range.
 """
 
 from conftest import run_once
 
 from repro.analytic.thrashing import classify_phases, thrashing_onset
-from repro.experiments.config import default_system_params
 from repro.experiments.report import format_sweep_table
-from repro.experiments.stationary import sweep_offered_load
+from repro.runner import run_sweep, stationary_sweeps
 
 
-def test_fig01_uncontrolled_thrashing_curve(benchmark, scale):
+def test_fig01_uncontrolled_thrashing_curve(benchmark, scale, workers, replicates):
     def experiment():
-        return sweep_offered_load(
-            default_system_params(), controller_factory=None, scale=scale,
-            label="without control", include_model_reference=True)
+        result = run_sweep("thrashing", scale=scale, workers=workers,
+                           replicates=replicates)
+        (sweep,) = stationary_sweeps(result).values()
+        return sweep
 
     sweep = run_once(benchmark, experiment)
     curve = sweep.curve()

@@ -6,8 +6,10 @@ throughput collapses under heavy load, and the controlled system (PA shown;
 IS indistinguishable in this case), whose throughput stays at the peak for
 every offered load.
 
-The reproduction regenerates the three series (no control, IS, PA) and
-checks the paper's qualitative statements:
+The reproduction runs the runner's ``fig12_stationary`` scenario — all
+(offered load × controller) cells are independent, so ``REPRO_BENCH_WORKERS``
+fans them out over processes and ``REPRO_BENCH_REPLICATES`` adds mean ± CI
+columns — and checks the paper's qualitative statements:
 
 * both controllers keep heavy-load throughput close to the peak of the
   uncontrolled curve;
@@ -16,35 +18,20 @@ checks the paper's qualitative statements:
 
 from conftest import run_once
 
-from repro.core.incremental_steps import IncrementalStepsController
-from repro.core.parabola import ParabolaController
-from repro.experiments.config import default_system_params
 from repro.experiments.report import format_sweep_table
-from repro.experiments.stationary import sweep_offered_load
+from repro.runner import run_sweep, stationary_sweeps
 
 
-def _is_factory(params):
-    return IncrementalStepsController(
-        initial_limit=10, beta=1.0, gamma=5, delta=10, min_step=2.0,
-        lower_bound=2, upper_bound=params.n_terminals)
-
-
-def _pa_factory(params):
-    return ParabolaController(
-        initial_limit=10, forgetting=0.9, probe_amplitude=3.0,
-        lower_bound=2, upper_bound=params.n_terminals)
-
-
-def test_fig12_throughput_with_and_without_control(benchmark, scale):
-    base = default_system_params()
-
+def test_fig12_throughput_with_and_without_control(benchmark, scale, workers, replicates):
     def experiment():
-        without = sweep_offered_load(base, None, scale=scale, label="without control")
-        with_is = sweep_offered_load(base, _is_factory, scale=scale, label="IS control")
-        with_pa = sweep_offered_load(base, _pa_factory, scale=scale, label="PA control")
-        return without, with_is, with_pa
+        result = run_sweep("fig12_stationary", scale=scale, workers=workers,
+                           replicates=replicates)
+        return stationary_sweeps(result)
 
-    without, with_is, with_pa = run_once(benchmark, experiment)
+    sweeps = run_once(benchmark, experiment)
+    without = sweeps["without control"]
+    with_is = sweeps["IS control"]
+    with_pa = sweeps["PA control"]
 
     print()
     print("Figure 12 — throughput with and without control (stationary)")

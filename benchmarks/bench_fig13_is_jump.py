@@ -1,51 +1,32 @@
 """Figure 13: trajectory of the Incremental Steps controller under a jump.
 
 The workload changes abruptly mid-run (the number of accesses per
-transaction jumps), which moves the position of the throughput optimum.
-Figure 13 shows the IS threshold trajectory: it reacts quickly but adjusts
-to the new optimum far less accurately than PA (Figure 14).
+transaction jumps from 4 to 16), which moves the position of the throughput
+optimum.  Figure 13 shows the IS threshold trajectory: it reacts quickly but
+adjusts to the new optimum far less accurately than PA (Figure 14).
 
-The benchmark runs the full discrete-event system with the contention-bound
-preset, records the (time, n*) trajectory together with the analytic
-reference optimum, prints the Figure 13 series and reports the tracking
-metrics that the Figure 14 benchmark compares against.
+The benchmark runs the runner's ``fig13_is_jump`` scenario (the full
+discrete-event system with the contention-bound preset), records the
+(time, n*) trajectory together with the analytic reference optimum, prints
+the Figure 13 series and reports the tracking metrics that the Figure 14
+benchmark compares against.
 """
 
 from conftest import run_once
 
-from repro.core.incremental_steps import IncrementalStepsController
-from repro.experiments.config import contention_bound_params
-from repro.experiments.dynamic import jump_scenario, run_tracking_experiment
 from repro.experiments.report import format_series_table
 from repro.experiments.tracking import compute_tracking_metrics
-
-#: the jump scenario shared by the Figure 13 and Figure 14 benchmarks:
-#: transaction size jumps from 4 to 16 accesses halfway through the run,
-#: which moves the optimum MPL upward by roughly a factor of two
-JUMP_BEFORE = 4
-JUMP_AFTER = 16
+from repro.runner import run_sweep, tracking_results
 
 
-def build_scenario(scale):
-    return jump_scenario("accesses", JUMP_BEFORE, JUMP_AFTER,
-                         jump_time=scale.tracking_horizon / 2.0)
-
-
-def tracking_params():
-    return contention_bound_params(seed=17)
-
-
-def test_fig13_incremental_steps_jump_trajectory(benchmark, scale):
-    params = tracking_params()
-    scenario = build_scenario(scale)
-    controller = IncrementalStepsController(
-        initial_limit=30, beta=0.5, gamma=8, delta=20, min_step=4.0,
-        lower_bound=4, upper_bound=params.n_terminals)
-
+def test_fig13_incremental_steps_jump_trajectory(benchmark, scale, workers, replicates):
     def experiment():
-        return run_tracking_experiment(controller, scenario, base_params=params, scale=scale)
+        return run_sweep("fig13_is_jump", scale=scale, workers=workers,
+                         replicates=replicates)
 
-    result = run_once(benchmark, experiment)
+    sweep_result = run_once(benchmark, experiment)
+    result = tracking_results(sweep_result)["IS"]
+    params = sweep_result.spec.cells[0].params
     metrics = compute_tracking_metrics(
         result, disturbance_time=scale.tracking_horizon / 2.0,
         evaluate_after=scale.tracking_horizon * 0.15)

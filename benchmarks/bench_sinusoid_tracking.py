@@ -6,26 +6,24 @@ variation.  This benchmark reproduces that finding twice:
 
 * on the synthetic plant (exact reference optimum, fast), where the optimum
   position follows a sinusoid; and
-* on the full discrete-event system, where the transaction size varies
-  sinusoidally and the reference optimum comes from the analytic OCC model.
+* on the full discrete-event system through the runner's ``sinusoid``
+  scenario (IS and PA cells are independent and parallelise across
+  workers), where the transaction size varies sinusoidally and the
+  reference optimum comes from the analytic OCC model.
 """
 
 from conftest import run_once
 
 from repro.core.incremental_steps import IncrementalStepsController
 from repro.core.parabola import ParabolaController
-from repro.experiments.config import contention_bound_params
-from repro.experiments.dynamic import (
-    run_synthetic_tracking,
-    run_tracking_experiment,
-    sinusoid_scenario,
-)
+from repro.experiments.dynamic import run_synthetic_tracking
 from repro.experiments.report import format_comparison
 from repro.experiments.tracking import compute_tracking_metrics
+from repro.runner import run_sweep, tracking_results
 from repro.tp.workload import SinusoidSchedule
 
 
-def _controllers(upper_bound):
+def _synthetic_controllers(upper_bound):
     return {
         "IS": IncrementalStepsController(initial_limit=40, beta=0.5, gamma=8, delta=20,
                                          min_step=4.0, lower_bound=4, upper_bound=upper_bound),
@@ -34,14 +32,10 @@ def _controllers(upper_bound):
     }
 
 
-def test_sinusoidal_workload_tracking(benchmark, scale):
-    params = contention_bound_params(seed=23)
-    period = scale.tracking_horizon / 2.0
-    scenario = sinusoid_scenario("accesses", mean=10.0, amplitude=6.0, period=period)
-
+def test_sinusoidal_workload_tracking(benchmark, scale, workers, replicates):
     def experiment():
         synthetic = {}
-        for name, controller in _controllers(400).items():
+        for name, controller in _synthetic_controllers(400).items():
             result = run_synthetic_tracking(
                 controller,
                 position_schedule=SinusoidSchedule(mean=100.0, amplitude=40.0,
@@ -49,12 +43,13 @@ def test_sinusoidal_workload_tracking(benchmark, scale):
                 steps=scale.synthetic_steps, noise_std=2.0, seed=31)
             synthetic[name] = compute_tracking_metrics(
                 result, evaluate_after=scale.synthetic_steps * 0.2)
-        simulated = {}
-        for name, controller in _controllers(params.n_terminals).items():
-            result = run_tracking_experiment(controller, scenario, base_params=params,
-                                             scale=scale)
-            simulated[name] = compute_tracking_metrics(
+        sweep_result = run_sweep("sinusoid", scale=scale, workers=workers,
+                                 replicates=replicates)
+        simulated = {
+            name: compute_tracking_metrics(
                 result, evaluate_after=scale.tracking_horizon * 0.2)
+            for name, result in tracking_results(sweep_result).items()
+        }
         return synthetic, simulated
 
     synthetic, simulated = run_once(benchmark, experiment)

@@ -12,6 +12,14 @@ Scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable:
 * ``smoke``      -- seconds per experiment, noisy results
 * ``benchmark``  -- the default; a few minutes for the whole suite
 * ``paper``      -- full-size runs approximating the paper's figures
+
+Execution is controlled with two more variables, both forwarded to
+:func:`repro.runner.run_sweep`:
+
+* ``REPRO_BENCH_WORKERS``    -- worker processes per sweep (0 = serial,
+  the default; results are identical for every setting)
+* ``REPRO_BENCH_REPLICATES`` -- independent replicates per cell (default 1;
+  with more, the sweep tables report mean ± 95% CI)
 """
 
 import os
@@ -30,10 +38,29 @@ def _selected_scale() -> ExperimentScale:
     return ExperimentScale.benchmark()
 
 
+def _int_env(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    if value is None or not value.strip():
+        return default
+    return int(value)
+
+
 @pytest.fixture(scope="session")
 def scale() -> ExperimentScale:
     """The experiment scale selected via REPRO_BENCH_SCALE."""
     return _selected_scale()
+
+
+@pytest.fixture(scope="session")
+def workers() -> int:
+    """Worker processes per sweep, selected via REPRO_BENCH_WORKERS."""
+    return _int_env("REPRO_BENCH_WORKERS", 0)
+
+
+@pytest.fixture(scope="session")
+def replicates() -> int:
+    """Replicates per cell, selected via REPRO_BENCH_REPLICATES."""
+    return max(1, _int_env("REPRO_BENCH_REPLICATES", 1))
 
 
 def run_once(benchmark, function):

@@ -1,0 +1,9 @@
+"""Compatibility shim; all metadata lives in pyproject.toml.
+
+Kept so ``python setup.py develop`` works in environments without the
+``wheel`` package (modern editable installs build a wheel first).
+"""
+
+from setuptools import setup
+
+setup()

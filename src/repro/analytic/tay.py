@@ -31,7 +31,6 @@ qualitative behaviour -- quadratic growth of blocking, a finite optimal
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import TYPE_CHECKING, Callable, Dict, List, Sequence
+from typing import TYPE_CHECKING, Callable, List, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.tp.transaction import Transaction

@@ -25,7 +25,6 @@ choice.
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Optional
 
 from repro.core.admission import AdmissionGate

@@ -21,7 +21,6 @@ compared against in the ablation benchmarks.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from repro.core.controller import LoadController
 from repro.core.types import IntervalMeasurement

@@ -28,16 +28,25 @@ from repro.experiments.dynamic import (
     jump_scenario,
     run_synthetic_tracking,
     run_tracking_experiment,
+    run_tracking_suite,
     sinusoid_scenario,
+    tracking_sweep_spec,
 )
 from repro.experiments.stationary import (
     StationaryPoint,
     StationarySweep,
     run_stationary_point,
+    stationary_sweep_spec,
     sweep_offered_load,
 )
 from repro.experiments.tracking import TrackingMetrics, compute_tracking_metrics
-from repro.experiments.report import format_series_table, format_sweep_table
+from repro.experiments.report import (
+    format_aggregate_table,
+    format_comparison,
+    format_series_table,
+    format_sweep_table,
+    format_table,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -46,14 +55,20 @@ __all__ = [
     "StationaryPoint",
     "StationarySweep",
     "run_stationary_point",
+    "stationary_sweep_spec",
     "sweep_offered_load",
     "TrackingResult",
     "run_tracking_experiment",
+    "run_tracking_suite",
+    "tracking_sweep_spec",
     "run_synthetic_tracking",
     "jump_scenario",
     "sinusoid_scenario",
     "TrackingMetrics",
     "compute_tracking_metrics",
+    "format_aggregate_table",
+    "format_comparison",
     "format_series_table",
     "format_sweep_table",
+    "format_table",
 ]

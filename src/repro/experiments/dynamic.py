@@ -25,14 +25,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analytic.occ import OccModel
 from repro.analytic.synthetic import DynamicOptimumScenario, SyntheticSystem
 from repro.core.controller import LoadController
 from repro.core.displacement import DisplacementPolicy
+from repro.core.outer_loop import MeasurementIntervalTuner
 from repro.core.types import ControlTrace
 from repro.experiments.config import ExperimentScale, default_system_params
+from repro.sim.random_streams import RandomStreams
 from repro.tp.params import SystemParams
 from repro.tp.system import TransactionSystem
 from repro.tp.workload import (
@@ -62,6 +64,8 @@ class TrackingResult:
     total_commits: int = 0
     #: run-level mean response time
     mean_response_time: float = 0.0
+    #: abandoned executions per commit over the whole run
+    restart_ratio: float = 0.0
 
     def threshold_series(self) -> List[Tuple[float, float]]:
         """(time, threshold) points -- the solid line of Figures 13/14."""
@@ -127,21 +131,24 @@ def run_tracking_experiment(controller: LoadController,
                             base_params: Optional[SystemParams] = None,
                             scale: Optional[ExperimentScale] = None,
                             displacement: Optional[DisplacementPolicy] = None,
-                            reference_resolution: int = 20) -> TrackingResult:
+                            reference_resolution: int = 20,
+                            interval_tuner: Optional[MeasurementIntervalTuner] = None,
+                            streams: Optional[RandomStreams] = None) -> TrackingResult:
     """Run the full simulation with a time-varying workload and a controller.
 
     ``reference_resolution`` limits how many times the (comparatively
     expensive) analytic reference optimum is recomputed; between those
     instants the reference is held constant, which is exact for jump
     scenarios and a fine approximation for slow sinusoids.
+    ``interval_tuner`` enables the outer control loop of Section 5;
+    ``streams`` overrides the run's random streams (the runner passes a
+    replicate-derived family here).
     """
     scale = scale or ExperimentScale.benchmark()
     base_params = base_params or default_system_params()
     parameter, schedule = scenario
 
-    from repro.sim.random_streams import RandomStreams
-
-    streams = RandomStreams(base_params.seed)
+    streams = streams or RandomStreams(base_params.seed)
     workload_for_reference = _build_workload(base_params, RandomStreams(base_params.seed), parameter, schedule)
 
     system = TransactionSystem(
@@ -154,6 +161,7 @@ def run_tracking_experiment(controller: LoadController,
         controller,
         interval=scale.measurement_interval,
         warmup=0.0,
+        interval_tuner=interval_tuner,
     )
     system.run(until=scale.tracking_horizon)
 
@@ -184,7 +192,70 @@ def run_tracking_experiment(controller: LoadController,
         reference_peaks=reference_peaks,
         total_commits=system.metrics.commits,
         mean_response_time=system.metrics.mean_response_time(),
+        restart_ratio=system.metrics.restart_ratio,
     )
+
+
+# ----------------------------------------------------------------------
+# runner delegation: many tracking cells at once
+# ----------------------------------------------------------------------
+def tracking_sweep_spec(controllers: Mapping[str, object],
+                        scenario: Tuple[str, ParameterSchedule],
+                        base_params: Optional[SystemParams] = None,
+                        scale: Optional[ExperimentScale] = None,
+                        name: str = "tracking",
+                        displacement: Optional[DisplacementPolicy] = None,
+                        interval_tuner: Optional[MeasurementIntervalTuner] = None):
+    """Build a runner sweep with one tracking cell per named controller.
+
+    Each value of ``controllers`` may be a
+    :class:`~repro.runner.specs.ControllerSpec` or a picklable factory
+    ``params -> LoadController``.
+    """
+    from repro.runner.specs import KIND_TRACKING, RunSpec, SweepSpec
+
+    scale = scale or ExperimentScale.benchmark()
+    base_params = base_params or default_system_params()
+    cells = tuple(
+        RunSpec(
+            kind=KIND_TRACKING,
+            cell_id=f"{name}/{label}",
+            params=base_params,
+            scale=scale,
+            controller=controller,
+            scenario=scenario,
+            label=label,
+            displacement=displacement,
+            interval_tuner=interval_tuner,
+        )
+        for label, controller in controllers.items()
+    )
+    return SweepSpec(name=name, cells=cells)
+
+
+def run_tracking_suite(controllers: Mapping[str, object],
+                       scenario: Tuple[str, ParameterSchedule],
+                       base_params: Optional[SystemParams] = None,
+                       scale: Optional[ExperimentScale] = None,
+                       workers: int = 0,
+                       replicates: int = 1,
+                       name: str = "tracking",
+                       displacement: Optional[DisplacementPolicy] = None,
+                       interval_tuner: Optional[MeasurementIntervalTuner] = None):
+    """Run one tracking cell per controller through the runner.
+
+    ``displacement`` and ``interval_tuner`` apply to every cell of the
+    suite.  Returns the :class:`~repro.runner.api.SweepResult`; use
+    :func:`repro.runner.tracking_results` for the per-controller
+    trajectories and :attr:`~repro.runner.api.SweepResult.aggregates` for
+    replicate mean ± CI summaries.
+    """
+    from repro.runner.api import run_sweep
+
+    spec = tracking_sweep_spec(controllers, scenario, base_params=base_params,
+                               scale=scale, name=name, displacement=displacement,
+                               interval_tuner=interval_tuner)
+    return run_sweep(spec, workers=workers, replicates=replicates)
 
 
 # ----------------------------------------------------------------------

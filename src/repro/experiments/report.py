@@ -35,12 +35,16 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
     return "\n".join(lines)
 
 
-def format_sweep_table(sweeps: Sequence, loads: Optional[Sequence[int]] = None) -> str:
+def format_sweep_table(sweeps: Sequence, loads: Optional[Sequence[int]] = None,
+                       show_ci: bool = True,
+                       float_format: str = "{:.2f}") -> str:
     """Tabulate one or more stationary sweeps side by side (Figure 12 style).
 
     ``sweeps`` are :class:`~repro.experiments.stationary.StationarySweep`
     objects; the table has one row per offered load and one throughput
-    column per sweep.
+    column per sweep.  For sweeps produced from replicated runs (non-empty
+    :attr:`~repro.experiments.stationary.StationarySweep.aggregates`) the
+    throughput cells read ``mean ± ci`` unless ``show_ci=False``.
     """
     if not sweeps:
         raise ValueError("at least one sweep is required")
@@ -51,12 +55,47 @@ def format_sweep_table(sweeps: Sequence, loads: Optional[Sequence[int]] = None) 
     for load in loads:
         row: List[object] = [load]
         for sweep in sweeps:
+            aggregate = sweep.aggregates.get(load) if show_ci else None
+            if aggregate is not None:
+                row.append(aggregate.metric("throughput").format(float_format))
+                continue
             try:
                 row.append(sweep.throughput_at(load))
             except KeyError:
                 row.append("-")
         rows.append(row)
-    return format_table(headers, rows)
+    return format_table(headers, rows, float_format=float_format)
+
+
+#: (metric key, column header) pairs shown by :func:`format_aggregate_table`
+DEFAULT_AGGREGATE_COLUMNS: Sequence[Tuple[str, str]] = (
+    ("throughput", "T [txn/s]"),
+    ("mean_response_time", "R [s]"),
+    ("restart_ratio", "restarts/commit"),
+)
+
+
+def format_aggregate_table(aggregates: Sequence,
+                           columns: Optional[Sequence[Tuple[str, str]]] = None,
+                           float_format: str = "{:.2f}") -> str:
+    """Tabulate replicated-run summaries: one row per cell, ``mean ± ci``.
+
+    ``aggregates`` are :class:`~repro.runner.replication.CellAggregate`
+    objects (e.g. :attr:`~repro.runner.api.SweepResult.aggregates`);
+    ``columns`` selects the metrics as (metric key, header) pairs.  Metrics
+    a cell never reported render as ``-``.
+    """
+    if columns is None:
+        columns = DEFAULT_AGGREGATE_COLUMNS
+    headers = ["cell", "n"] + [header for _key, header in columns]
+    rows = []
+    for aggregate in aggregates:
+        row: List[object] = [aggregate.cell_id, aggregate.count]
+        for key, _header in columns:
+            summary = aggregate.metrics.get(key)
+            row.append(summary.format(float_format) if summary is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows, float_format=float_format)
 
 
 def format_series_table(result, every: int = 1) -> str:

@@ -11,19 +11,22 @@ Two questions are answered per offered load ``N`` (number of terminals):
   every offered load.)
 
 :func:`run_stationary_point` runs one (offered load, controller) cell;
-:func:`sweep_offered_load` produces the whole curve.
+:func:`sweep_offered_load` produces the whole curve.  The sweep builds one
+:class:`~repro.runner.specs.RunSpec` per offered load and delegates
+execution to :mod:`repro.runner`, so ``workers=N`` fans the points out over
+processes and ``replicates=R`` turns each point into a mean with a
+confidence interval — without changing the single-replicate results.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.analytic.occ import OccModel
 from repro.core.controller import LoadController
 from repro.core.measurement import MeasurementProcess
 from repro.experiments.config import ExperimentScale, default_system_params
+from repro.sim.random_streams import RandomStreams
 from repro.tp.params import SystemParams
 from repro.tp.system import TransactionSystem
 
@@ -65,6 +68,9 @@ class StationarySweep:
     points: List[StationaryPoint] = field(default_factory=list)
     #: analytic (model) throughput at each offered load, for comparison
     model_reference: Dict[int, float] = field(default_factory=dict)
+    #: offered load -> replicate aggregate (mean ± CI per metric); populated
+    #: by replicated runs, empty for single-replicate sweeps
+    aggregates: Dict[int, object] = field(default_factory=dict)
 
     def curve(self) -> List[Tuple[float, float]]:
         """The (load, throughput) series in offered-load order."""
@@ -88,18 +94,21 @@ def run_stationary_point(params: SystemParams,
                          controller_factory: Optional[ControllerFactory] = None,
                          horizon: float = 30.0,
                          warmup: float = 5.0,
-                         measurement_interval: float = 2.0) -> StationaryPoint:
+                         measurement_interval: float = 2.0,
+                         streams: Optional[RandomStreams] = None) -> StationaryPoint:
     """Run one stationary simulation and summarise it.
 
     With ``controller_factory=None`` the system runs uncontrolled (every
     transaction admitted immediately); otherwise the factory's controller is
-    attached with the given measurement interval.
+    attached with the given measurement interval.  ``streams`` overrides the
+    run's random streams (the runner passes a replicate-derived family here;
+    by default the streams are seeded from ``params.seed``).
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be positive, got {horizon}")
     if warmup < 0:
         raise ValueError(f"warmup must be non-negative, got {warmup}")
-    system = TransactionSystem(params)
+    system = TransactionSystem(params, streams=streams)
     measurement: Optional[MeasurementProcess] = None
     if controller_factory is not None:
         controller = controller_factory(params)
@@ -128,34 +137,60 @@ def run_stationary_point(params: SystemParams,
     )
 
 
+def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
+                          controller: Optional[object] = None,
+                          scale: Optional[ExperimentScale] = None,
+                          label: Optional[str] = None,
+                          name: str = "stationary"):
+    """Build the runner :class:`~repro.runner.specs.SweepSpec` of one curve.
+
+    ``controller`` may be ``None`` (uncontrolled), a
+    :class:`~repro.runner.specs.ControllerSpec`, or a picklable factory
+    ``params -> LoadController``.
+    """
+    from repro.runner.specs import KIND_STATIONARY, RunSpec, SweepSpec
+
+    scale = scale or ExperimentScale.benchmark()
+    base_params = base_params or default_system_params()
+    if label is None:
+        label = "without control" if controller is None else "with control"
+    cells = tuple(
+        RunSpec(
+            kind=KIND_STATIONARY,
+            cell_id=f"{name}/{label}/N={int(offered_load)}",
+            params=base_params.with_changes(n_terminals=int(offered_load)),
+            scale=scale,
+            controller=controller,
+            label=label,
+        )
+        for offered_load in scale.offered_loads
+    )
+    return SweepSpec(name=name, cells=cells)
+
+
 def sweep_offered_load(base_params: Optional[SystemParams] = None,
                        controller_factory: Optional[ControllerFactory] = None,
                        scale: Optional[ExperimentScale] = None,
                        label: Optional[str] = None,
-                       include_model_reference: bool = True) -> StationarySweep:
-    """Measure the load/throughput curve over the scale's offered loads."""
-    scale = scale or ExperimentScale.benchmark()
-    base_params = base_params or default_system_params()
-    if label is None:
-        label = "without control" if controller_factory is None else "with control"
-    sweep = StationarySweep(label=label)
-    for offered_load in scale.offered_loads:
-        params = base_params.with_changes(n_terminals=int(offered_load))
-        point = run_stationary_point(
-            params,
-            controller_factory=controller_factory,
-            horizon=scale.stationary_horizon,
-            warmup=scale.warmup,
-            measurement_interval=scale.measurement_interval,
-        )
-        sweep.points.append(point)
-        if include_model_reference:
-            model = OccModel(params)
-            # the uncontrolled system operates near the offered load, the
-            # controlled one near the model's optimum
-            if controller_factory is None:
-                reference_mpl = float(offered_load)
-            else:
-                reference_mpl = model.optimal_mpl()
-            sweep.model_reference[int(offered_load)] = model.throughput(reference_mpl)
+                       include_model_reference: bool = True,
+                       workers: int = 0,
+                       replicates: int = 1) -> StationarySweep:
+    """Measure the load/throughput curve over the scale's offered loads.
+
+    Execution is delegated to :mod:`repro.runner`: ``workers=N`` runs the
+    points over ``N`` worker processes (0/1 = serial, same results bitwise),
+    and ``replicates=R`` runs every point ``R`` times with independent
+    replicate seeds, in which case the curve carries the replicate means and
+    :attr:`StationarySweep.aggregates` the per-load mean ± CI summaries.
+
+    With ``workers > 1`` the controller factory must be picklable (a
+    module-level function or a :class:`~repro.runner.specs.ControllerSpec`);
+    lambdas and closures work serially only.
+    """
+    from repro.runner.api import run_sweep, stationary_sweeps
+
+    spec = stationary_sweep_spec(base_params, controller_factory, scale, label)
+    result = run_sweep(spec, workers=workers, replicates=replicates)
+    sweeps = stationary_sweeps(result, include_model_reference=include_model_reference)
+    (sweep,) = sweeps.values()
     return sweep

@@ -1,0 +1,143 @@
+"""Executing one experiment cell inside a worker process.
+
+:func:`execute_run_spec` is the single entry point every executor maps over
+the cells of a :class:`~repro.runner.specs.SweepSpec`.  It is a module-level
+function (so ``multiprocessing`` can pickle it by reference), builds all
+stateful objects locally, and returns a :class:`CellResult` whose payload
+and metrics are plain picklable data.
+
+The experiment modules are imported lazily inside the function:
+``repro.experiments`` delegates sweep execution *to* the runner, so a
+module-level import in either direction would be circular.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.runner.specs import KIND_STATIONARY, KIND_TRACKING, RunSpec
+from repro.sim.random_streams import RandomStreams
+
+#: fraction of the tracking horizon discarded as the start-up transient when
+#: computing the cell-level mean_abs_error / throughput_ratio summaries.
+#: This is the runner's *standard* window for cross-scenario aggregate
+#: comparisons; individual benchmarks may evaluate their own windows (e.g.
+#: the sinusoid benchmark uses 0.2) for their specific assertions.
+TRACKING_METRICS_TRANSIENT_FRACTION = 0.15
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell run: summary metrics plus the full result object.
+
+    ``metrics`` holds the scalar quantities the replication layer can
+    aggregate (mean ± confidence interval); ``payload`` is the full
+    :class:`~repro.experiments.stationary.StationaryPoint` or
+    :class:`~repro.experiments.dynamic.TrackingResult` for callers that need
+    the complete series.
+    """
+
+    cell_id: str
+    kind: str
+    replicate: int
+    label: str = ""
+    metrics: Dict[str, float] = field(default_factory=dict)
+    payload: object = None
+
+
+def replicate_streams(seed: int, replicate: int) -> RandomStreams:
+    """The random streams of one replicate of a run.
+
+    Replicate 0 uses the root streams directly, so a single-replicate runner
+    cell is bitwise identical to the corresponding direct serial run; higher
+    replicates branch off via :meth:`RandomStreams.spawn`.
+    """
+    streams = RandomStreams(seed)
+    if replicate:
+        streams = streams.spawn(replicate)
+    return streams
+
+
+def execute_run_spec(spec: RunSpec) -> CellResult:
+    """Run one cell and summarise it (the executor-mapped worker function)."""
+    if spec.kind == KIND_STATIONARY:
+        return _execute_stationary(spec)
+    if spec.kind == KIND_TRACKING:
+        return _execute_tracking(spec)
+    raise ValueError(f"unknown run kind {spec.kind!r}")
+
+
+def _execute_stationary(spec: RunSpec) -> CellResult:
+    from repro.experiments.stationary import run_stationary_point
+
+    point = run_stationary_point(
+        spec.params,
+        controller_factory=spec.controller_factory(),
+        horizon=spec.scale.stationary_horizon,
+        warmup=spec.scale.warmup,
+        measurement_interval=spec.scale.measurement_interval,
+        streams=replicate_streams(spec.params.seed, spec.replicate),
+    )
+    metrics = {
+        "throughput": point.throughput,
+        "mean_response_time": point.mean_response_time,
+        "restart_ratio": point.restart_ratio,
+        "mean_concurrency": point.mean_concurrency,
+        "cpu_utilisation": point.cpu_utilisation,
+        "commits": float(point.commits),
+        "final_limit": point.final_limit,
+    }
+    return CellResult(
+        cell_id=spec.cell_id,
+        kind=spec.kind,
+        replicate=spec.replicate,
+        label=spec.label,
+        metrics=metrics,
+        payload=point,
+    )
+
+
+def _execute_tracking(spec: RunSpec) -> CellResult:
+    from repro.experiments.dynamic import run_tracking_experiment
+    from repro.experiments.tracking import compute_tracking_metrics
+
+    result = run_tracking_experiment(
+        spec.build_controller(),
+        spec.scenario,
+        base_params=spec.params,
+        scale=spec.scale,
+        # the policy objects accumulate run state; copying per execution keeps
+        # cells independent however often a process executes one (serial
+        # executor, replicate expansion, multiprocessing worker reuse)
+        displacement=copy.deepcopy(spec.displacement),
+        interval_tuner=copy.deepcopy(spec.interval_tuner),
+        streams=replicate_streams(spec.params.seed, spec.replicate),
+    )
+    horizon = spec.scale.tracking_horizon
+    metrics = {
+        "throughput": result.total_commits / horizon if horizon > 0 else 0.0,
+        "mean_response_time": result.mean_response_time,
+        "restart_ratio": result.restart_ratio,
+        "commits": float(result.total_commits),
+    }
+    try:
+        tracking = compute_tracking_metrics(
+            result,
+            evaluate_after=TRACKING_METRICS_TRANSIENT_FRACTION * spec.scale.tracking_horizon,
+        )
+        metrics["mean_abs_error"] = tracking.mean_absolute_error
+        metrics["throughput_ratio"] = tracking.throughput_ratio
+    except ValueError:
+        # degenerate traces (no samples after the transient) still produce a
+        # usable cell; only the tracking-error metrics are omitted
+        pass
+    return CellResult(
+        cell_id=spec.cell_id,
+        kind=spec.kind,
+        replicate=spec.replicate,
+        label=spec.label,
+        metrics=metrics,
+        payload=result,
+    )

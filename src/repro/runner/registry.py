@@ -1,0 +1,187 @@
+"""Named experiment scenarios: the paper's evaluation grid by name.
+
+Each scenario maps a name (``fig12_stationary``, ``fig13_is_jump``,
+``fig14_pa_jump``, ``sinusoid``, ``thrashing``) to a builder that produces
+the corresponding :class:`~repro.runner.specs.SweepSpec` for a given
+:class:`~repro.experiments.config.ExperimentScale`.  Benchmarks, examples
+and ad-hoc scripts all obtain their cells here, so "run Figure 12 at smoke
+scale with 4 workers and 5 replicates" is one call:
+
+>>> from repro.runner import run_sweep
+>>> result = run_sweep("fig12_stationary", workers=4, replicates=5)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.experiments.config import (
+    ExperimentScale,
+    contention_bound_params,
+    default_system_params,
+)
+from repro.experiments.dynamic import (
+    jump_scenario,
+    sinusoid_scenario,
+    tracking_sweep_spec,
+)
+from repro.experiments.stationary import stationary_sweep_spec
+from repro.runner.specs import ControllerSpec, SweepSpec
+from repro.tp.params import SystemParams
+
+#: a scenario builder produces the sweep for one named experiment
+ScenarioBuilder = Callable[..., SweepSpec]
+
+
+@dataclass(frozen=True)
+class ScenarioDefinition:
+    """A named, documented entry of the scenario registry."""
+
+    name: str
+    description: str
+    builder: ScenarioBuilder
+
+    def build(self, scale: Optional[ExperimentScale] = None,
+              base_params: Optional[SystemParams] = None, **overrides) -> SweepSpec:
+        """Build the sweep at the given scale (benchmark scale by default)."""
+        return self.builder(scale or ExperimentScale.benchmark(), base_params,
+                            **overrides)
+
+
+_SCENARIOS: Dict[str, ScenarioDefinition] = {}
+
+
+def register_scenario(name: str, description: str):
+    """Register a scenario builder under ``name`` (decorator)."""
+
+    def decorator(builder: ScenarioBuilder) -> ScenarioBuilder:
+        if name in _SCENARIOS:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _SCENARIOS[name] = ScenarioDefinition(name=name, description=description,
+                                              builder=builder)
+        return builder
+
+    return decorator
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    return tuple(sorted(_SCENARIOS))
+
+
+def get_scenario(name: str) -> ScenarioDefinition:
+    """Look up one scenario definition by name."""
+    definition = _SCENARIOS.get(name)
+    if definition is None:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
+        )
+    return definition
+
+
+def build_sweep(name: str, scale: Optional[ExperimentScale] = None,
+                base_params: Optional[SystemParams] = None, **overrides) -> SweepSpec:
+    """Build the sweep of a named scenario."""
+    return get_scenario(name).build(scale=scale, base_params=base_params, **overrides)
+
+
+# ----------------------------------------------------------------------
+# controller parameterisations shared by the figure scenarios (these mirror
+# the settings the corresponding benchmarks have always used; the stationary
+# figures use the registered builders' defaults as-is)
+# ----------------------------------------------------------------------
+def _tracking_is() -> ControllerSpec:
+    return ControllerSpec.make("incremental_steps", initial_limit=30, beta=0.5,
+                               gamma=8, delta=20, min_step=4.0, lower_bound=4)
+
+
+def _tracking_pa() -> ControllerSpec:
+    return ControllerSpec.make("parabola", initial_limit=30, forgetting=0.85,
+                               probe_amplitude=6.0, max_move=40.0, lower_bound=4)
+
+
+def _stationary_cells(name: str, scale: ExperimentScale, base_params: SystemParams,
+                      variants) -> SweepSpec:
+    """One stationary cell per (controller variant, offered load)."""
+    cells = []
+    for label, controller in variants:
+        cells.extend(
+            stationary_sweep_spec(base_params, controller, scale, label, name=name).cells
+        )
+    return SweepSpec(name=name, cells=tuple(cells))
+
+
+# ----------------------------------------------------------------------
+# the registered scenarios
+# ----------------------------------------------------------------------
+@register_scenario(
+    "thrashing",
+    "Figure 1: the uncontrolled load/throughput curve (rise, saturation, thrashing)",
+)
+def _thrashing(scale: ExperimentScale, base_params: Optional[SystemParams]) -> SweepSpec:
+    base = base_params or default_system_params()
+    return _stationary_cells("thrashing", scale, base,
+                             [("without control", None)])
+
+
+@register_scenario(
+    "fig12_stationary",
+    "Figure 12: stationary throughput without control and under IS/PA control",
+)
+def _fig12_stationary(scale: ExperimentScale, base_params: Optional[SystemParams]) -> SweepSpec:
+    base = base_params or default_system_params()
+    return _stationary_cells("fig12_stationary", scale, base, [
+        ("without control", None),
+        ("IS control", ControllerSpec.make("incremental_steps")),
+        ("PA control", ControllerSpec.make("parabola")),
+    ])
+
+
+def _jump_cells(name: str, scale: ExperimentScale, base_params: Optional[SystemParams],
+                variants, jump_before: float, jump_after: float) -> SweepSpec:
+    base = base_params or contention_bound_params(seed=17)
+    scenario = jump_scenario("accesses", jump_before, jump_after,
+                             jump_time=scale.tracking_horizon / 2.0)
+    return tracking_sweep_spec(dict(variants), scenario, base_params=base,
+                               scale=scale, name=name)
+
+
+@register_scenario(
+    "fig13_is_jump",
+    "Figure 13: IS threshold trajectory under an abrupt transaction-size jump",
+)
+def _fig13_is_jump(scale: ExperimentScale, base_params: Optional[SystemParams],
+                   jump_before: float = 4, jump_after: float = 16) -> SweepSpec:
+    return _jump_cells("fig13_is_jump", scale, base_params,
+                       [("IS", _tracking_is())], jump_before, jump_after)
+
+
+@register_scenario(
+    "fig14_pa_jump",
+    "Figure 14: PA threshold trajectory on the Figure 13 jump, with the IS reference",
+)
+def _fig14_pa_jump(scale: ExperimentScale, base_params: Optional[SystemParams],
+                   jump_before: float = 4, jump_after: float = 16) -> SweepSpec:
+    return _jump_cells("fig14_pa_jump", scale, base_params,
+                       [("PA", _tracking_pa()), ("IS", _tracking_is())],
+                       jump_before, jump_after)
+
+
+@register_scenario(
+    "sinusoid",
+    "Section 9: IS and PA tracking a sinusoidal transaction-size variation",
+)
+def _sinusoid(scale: ExperimentScale, base_params: Optional[SystemParams],
+              mean: float = 10.0, amplitude: float = 6.0) -> SweepSpec:
+    base = base_params or contention_bound_params(seed=23)
+    scenario = sinusoid_scenario("accesses", mean=mean, amplitude=amplitude,
+                                 period=scale.tracking_horizon / 2.0)
+    variants = {
+        "IS": ControllerSpec.make("incremental_steps", initial_limit=40, beta=0.5,
+                                  gamma=8, delta=20, min_step=4.0, lower_bound=4),
+        "PA": ControllerSpec.make("parabola", initial_limit=40, forgetting=0.85,
+                                  probe_amplitude=6.0, max_move=40.0, lower_bound=4),
+    }
+    return tracking_sweep_spec(variants, scenario, base_params=base,
+                               scale=scale, name="sinusoid")

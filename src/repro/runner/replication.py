@@ -1,0 +1,159 @@
+"""Aggregating replicated runs into mean ± confidence-interval summaries.
+
+A single simulation run is one sample from the distribution the paper's
+figures actually plot; replicated runs (same cell, independent replicate
+seeds) turn a point estimate into a mean with a Student-t confidence
+interval.  This module condenses the :class:`~repro.runner.cells.CellResult`
+stream an executor produces into one :class:`CellAggregate` per cell.
+
+No SciPy: the two-sided Student-t critical values for the supported
+confidence levels are tabulated for up to 30 degrees of freedom and fall
+back to the normal quantile beyond that (the usual practice in simulation
+output analysis, and exact to three decimals there).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.runner.cells import CellResult
+
+#: two-sided Student-t critical values, indexed [confidence][df - 1]
+_T_TABLE: Dict[float, Tuple[float, ...]] = {
+    0.90: (6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833,
+           1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734,
+           1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703,
+           1.701, 1.699, 1.697),
+    0.95: (12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+           2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+           2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+           2.048, 2.045, 2.042),
+    0.99: (63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250,
+           3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878,
+           2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771,
+           2.763, 2.756, 2.750),
+}
+
+#: normal quantiles used beyond the tabulated degrees of freedom
+_Z_VALUES: Dict[float, float] = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+def t_critical(df: int, confidence: float = 0.95) -> float:
+    """Two-sided Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError(f"df must be >= 1, got {df}")
+    table = _T_TABLE.get(confidence)
+    if table is None:
+        raise ValueError(
+            f"confidence must be one of {sorted(_T_TABLE)}, got {confidence}"
+        )
+    if df <= len(table):
+        return table[df - 1]
+    return _Z_VALUES[confidence]
+
+
+@dataclass(frozen=True)
+class MetricAggregate:
+    """Mean ± confidence-interval summary of one metric over replicates."""
+
+    mean: float
+    #: sample standard deviation (ddof=1; 0 for a single replicate)
+    std: float
+    #: half-width of the two-sided confidence interval (0 for one replicate)
+    ci_half_width: float
+    count: int
+    confidence: float = 0.95
+
+    @property
+    def lower(self) -> float:
+        """Lower bound of the confidence interval."""
+        return self.mean - self.ci_half_width
+
+    @property
+    def upper(self) -> float:
+        """Upper bound of the confidence interval."""
+        return self.mean + self.ci_half_width
+
+    def format(self, float_format: str = "{:.2f}") -> str:
+        """Render as ``mean ± half-width``.
+
+        Single samples and aggregates without spread information (identical
+        or non-finite observations) render as the bare mean.
+        """
+        mean_text = float_format.format(self.mean)
+        if self.count <= 1 or self.ci_half_width == 0.0:
+            return mean_text
+        return f"{mean_text} ± {float_format.format(self.ci_half_width)}"
+
+
+def aggregate_values(values: Sequence[float], confidence: float = 0.95) -> MetricAggregate:
+    """Summarise independent replicate observations of one metric.
+
+    Non-finite observations (e.g. the ``final_limit`` of an uncontrolled
+    run is infinite) carry no spread information: the aggregate keeps the
+    mean but reports zero std/CI width instead of propagating ``inf - inf``
+    NaNs into the tables.
+    """
+    count = len(values)
+    if count == 0:
+        raise ValueError("at least one observation is required")
+    mean = sum(values) / count
+    if count == 1 or not all(math.isfinite(value) for value in values):
+        return MetricAggregate(mean=mean, std=0.0, ci_half_width=0.0,
+                               count=count, confidence=confidence)
+    variance = sum((value - mean) ** 2 for value in values) / (count - 1)
+    std = math.sqrt(variance)
+    half_width = t_critical(count - 1, confidence) * std / math.sqrt(count)
+    return MetricAggregate(mean=mean, std=std, ci_half_width=half_width,
+                           count=count, confidence=confidence)
+
+
+@dataclass
+class CellAggregate:
+    """All replicates of one cell plus the per-metric summaries."""
+
+    cell_id: str
+    kind: str
+    label: str = ""
+    replicates: List[CellResult] = field(default_factory=list)
+    metrics: Dict[str, MetricAggregate] = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        """Number of replicates aggregated."""
+        return len(self.replicates)
+
+    def metric(self, name: str) -> MetricAggregate:
+        """The aggregate of one metric (KeyError if it was never observed)."""
+        return self.metrics[name]
+
+
+def aggregate_cells(results: Iterable[CellResult],
+                    confidence: float = 0.95) -> List[CellAggregate]:
+    """Group an executor's result stream by cell and summarise each metric.
+
+    Cells appear in first-observation order (i.e. spec order for the
+    deterministic executors).  A metric is aggregated over the replicates
+    that reported it, so a metric missing from a degenerate replicate does
+    not discard the whole cell.
+    """
+    grouped: Dict[str, CellAggregate] = {}
+    for result in results:
+        aggregate = grouped.get(result.cell_id)
+        if aggregate is None:
+            aggregate = CellAggregate(cell_id=result.cell_id, kind=result.kind,
+                                      label=result.label)
+            grouped[result.cell_id] = aggregate
+        aggregate.replicates.append(result)
+    for aggregate in grouped.values():
+        names: Dict[str, None] = {}
+        for replicate in aggregate.replicates:
+            for name in replicate.metrics:
+                names.setdefault(name, None)
+        for name in names:
+            observed = [replicate.metrics[name] for replicate in aggregate.replicates
+                        if name in replicate.metrics]
+            aggregate.metrics[name] = aggregate_values(observed, confidence=confidence)
+    return list(grouped.values())

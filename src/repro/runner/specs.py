@@ -1,0 +1,281 @@
+"""Picklable experiment descriptors: one cell of the evaluation grid.
+
+The paper's evaluation is a grid of *independent* simulation cells — one
+per (offered load, controller, scenario, replicate) combination.  To fan
+those cells out over worker processes, each cell must be described by plain
+data that survives pickling; stateful objects (controllers, simulators,
+RNG streams) are only ever constructed *inside* the worker that runs the
+cell.
+
+* :class:`ControllerSpec` names a controller kind from a small registry and
+  carries its constructor options;
+* :class:`RunSpec` describes one cell: the kind of run (stationary point or
+  dynamic tracking), system parameters, scale, controller, scenario and
+  replicate index;
+* :class:`SweepSpec` is an ordered collection of cells, optionally expanded
+  into ``R`` replicates per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.controller import LoadController
+from repro.core.displacement import DisplacementPolicy
+from repro.core.incremental_steps import IncrementalStepsController
+from repro.core.outer_loop import MeasurementIntervalTuner
+from repro.core.parabola import ParabolaController
+from repro.core.rules import IyerRule, TayRule
+from repro.core.static import FixedLimit, NoControl
+from repro.experiments.config import ExperimentScale
+from repro.tp.params import SystemParams
+from repro.tp.workload import ParameterSchedule
+
+#: values of :attr:`RunSpec.kind`
+KIND_STATIONARY = "stationary"
+KIND_TRACKING = "tracking"
+
+#: a controller builder receives the cell's system parameters (for bounds
+#: and workload-derived defaults) plus the spec's options
+ControllerBuilder = Callable[..., LoadController]
+
+_CONTROLLER_BUILDERS: Dict[str, ControllerBuilder] = {}
+
+
+def register_controller(kind: str) -> Callable[[ControllerBuilder], ControllerBuilder]:
+    """Register a controller builder under ``kind`` (decorator)."""
+
+    def decorator(builder: ControllerBuilder) -> ControllerBuilder:
+        if kind in _CONTROLLER_BUILDERS:
+            raise ValueError(f"controller kind {kind!r} is already registered")
+        _CONTROLLER_BUILDERS[kind] = builder
+        return builder
+
+    return decorator
+
+
+def controller_kinds() -> Tuple[str, ...]:
+    """All registered controller kinds."""
+    return tuple(sorted(_CONTROLLER_BUILDERS))
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """A picklable description of a controller: registry kind + options.
+
+    ``options`` is stored as a sorted tuple of ``(name, value)`` pairs so
+    specs are hashable and two specs with the same options compare equal
+    regardless of keyword order.  Use :meth:`make` to build one from
+    keyword arguments.
+    """
+
+    kind: str
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, **options) -> "ControllerSpec":
+        """Build a spec from keyword options."""
+        return cls(kind=kind, options=tuple(sorted(options.items())))
+
+    def build(self, params: SystemParams) -> LoadController:
+        """Construct a fresh controller instance for one run."""
+        builder = _CONTROLLER_BUILDERS.get(self.kind)
+        if builder is None:
+            raise KeyError(
+                f"unknown controller kind {self.kind!r}; "
+                f"available: {', '.join(controller_kinds())}"
+            )
+        return builder(params, **dict(self.options))
+
+
+# ----------------------------------------------------------------------
+# built-in controller kinds
+#
+# Defaults follow the parameterisations used throughout the benchmarks;
+# every option can be overridden via ControllerSpec.make(kind, option=...).
+# ----------------------------------------------------------------------
+@register_controller("no_control")
+def _build_no_control(params: SystemParams, **options) -> LoadController:
+    settings = {"upper_bound": params.n_terminals}
+    settings.update(options)
+    return NoControl(**settings)
+
+
+@register_controller("fixed")
+def _build_fixed(params: SystemParams, **options) -> LoadController:
+    settings = {"limit": 20.0, "upper_bound": params.n_terminals}
+    settings.update(options)
+    return FixedLimit(**settings)
+
+
+@register_controller("tay")
+def _build_tay(params: SystemParams, **options) -> LoadController:
+    settings = {
+        "db_size": params.workload.db_size,
+        "accesses_per_txn": params.workload.accesses_per_txn,
+        "upper_bound": params.n_terminals,
+    }
+    settings.update(options)
+    return TayRule(**settings)
+
+
+@register_controller("iyer")
+def _build_iyer(params: SystemParams, **options) -> LoadController:
+    settings = {
+        "target_conflicts": 0.75,
+        "step": 3.0,
+        "initial_limit": 20.0,
+        "upper_bound": params.n_terminals,
+    }
+    settings.update(options)
+    return IyerRule(**settings)
+
+
+@register_controller("incremental_steps")
+def _build_incremental_steps(params: SystemParams, **options) -> LoadController:
+    settings = {
+        "initial_limit": 10.0,
+        "beta": 1.0,
+        "gamma": 5,
+        "delta": 10,
+        "min_step": 2.0,
+        "lower_bound": 2.0,
+        "upper_bound": params.n_terminals,
+    }
+    settings.update(options)
+    return IncrementalStepsController(**settings)
+
+
+@register_controller("parabola")
+def _build_parabola(params: SystemParams, **options) -> LoadController:
+    settings = {
+        "initial_limit": 10.0,
+        "forgetting": 0.9,
+        "probe_amplitude": 3.0,
+        "lower_bound": 2.0,
+        "upper_bound": params.n_terminals,
+    }
+    settings.update(options)
+    return ParabolaController(**settings)
+
+
+# ----------------------------------------------------------------------
+# run and sweep specifications
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of the experiment grid, as plain picklable data.
+
+    ``controller`` may be
+
+    * ``None`` — the system runs uncontrolled (no measurement loop at all),
+    * a :class:`ControllerSpec` — built from the registry inside the worker,
+    * a picklable callable ``factory(params) -> LoadController`` — supported
+      so existing ``controller_factory`` call sites can delegate to the
+      runner (lambdas/closures only work with the serial executor).
+
+    ``replicate`` selects the replicate branch of the run's random streams
+    (see :meth:`repro.sim.random_streams.RandomStreams.spawn`); replicate 0
+    is bitwise identical to a plain, non-replicated run.
+    """
+
+    kind: str
+    cell_id: str
+    params: SystemParams
+    scale: ExperimentScale
+    controller: Optional[object] = None
+    #: tracking runs only: (parameter name, schedule) as produced by
+    #: :func:`repro.experiments.dynamic.jump_scenario` and friends
+    scenario: Optional[Tuple[str, ParameterSchedule]] = None
+    replicate: int = 0
+    #: label used to group cells into curves/series in reports
+    label: str = ""
+    displacement: Optional[DisplacementPolicy] = None
+    interval_tuner: Optional[MeasurementIntervalTuner] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_STATIONARY, KIND_TRACKING):
+            raise ValueError(
+                f"kind must be {KIND_STATIONARY!r} or {KIND_TRACKING!r}, got {self.kind!r}"
+            )
+        if self.replicate < 0:
+            raise ValueError(f"replicate must be non-negative, got {self.replicate}")
+        if self.kind == KIND_TRACKING and self.scenario is None:
+            raise ValueError("tracking runs require a scenario")
+        if self.kind == KIND_TRACKING and self.controller is None:
+            raise ValueError("tracking runs require a controller")
+
+    def controller_factory(self) -> Optional[Callable[[SystemParams], LoadController]]:
+        """The factory the single-cell experiment functions expect."""
+        if self.controller is None:
+            return None
+        if isinstance(self.controller, ControllerSpec):
+            return self.controller.build
+        if callable(self.controller):
+            return self.controller
+        raise TypeError(
+            "controller must be None, a ControllerSpec or a callable, "
+            f"got {type(self.controller).__name__}"
+        )
+
+    def build_controller(self) -> Optional[LoadController]:
+        """Construct the cell's controller instance (None if uncontrolled)."""
+        factory = self.controller_factory()
+        if factory is None:
+            return None
+        return factory(self.params)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """An ordered collection of experiment cells (one logical sweep)."""
+
+    name: str
+    cells: Tuple[RunSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ValueError("a sweep must contain at least one cell")
+        seen = set()
+        for cell in self.cells:
+            key = (cell.cell_id, cell.replicate)
+            if key in seen:
+                # downstream grouping keys on cell_id; silently pooling two
+                # different cells would corrupt the replicate statistics
+                raise ValueError(
+                    f"duplicate cell {cell.cell_id!r} (replicate {cell.replicate}) "
+                    f"in sweep {self.name!r}"
+                )
+            seen.add(key)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def cell_ids(self) -> Tuple[str, ...]:
+        """Distinct cell ids in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for cell in self.cells:
+            seen.setdefault(cell.cell_id, None)
+        return tuple(seen)
+
+    def with_replicates(self, replicates: int) -> "SweepSpec":
+        """Expand every cell into ``replicates`` replicate runs.
+
+        Replicates of one cell are adjacent and ordered by replicate index,
+        so the result order of an executor run remains deterministic.
+        Cells that already carry a non-zero replicate index cannot be
+        expanded again.
+        """
+        if replicates < 1:
+            raise ValueError(f"replicates must be >= 1, got {replicates}")
+        if replicates == 1:
+            return self
+        if any(cell.replicate != 0 for cell in self.cells):
+            raise ValueError("the sweep has already been expanded into replicates")
+        expanded = tuple(
+            replace(cell, replicate=index)
+            for cell in self.cells
+            for index in range(replicates)
+        )
+        return SweepSpec(name=self.name, cells=expanded)

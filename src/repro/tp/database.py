@@ -10,8 +10,6 @@ ablation experiments.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
 import numpy as np
 
 from repro.sim.random_streams import RandomStreams

@@ -10,7 +10,7 @@ sample; the run totals remain available for final reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.cc.base import AbortReason
 from repro.sim.engine import Simulator

@@ -21,7 +21,6 @@ decreasing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 
 @dataclass(frozen=True)

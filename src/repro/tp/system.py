@@ -25,7 +25,6 @@ level, into thrashing.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.cc.base import AbortReason, ConcurrencyControl, TransactionAborted

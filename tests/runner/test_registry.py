@@ -1,0 +1,145 @@
+"""Tests for the scenario registry and the top-level run_sweep API."""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.stationary import StationarySweep, sweep_offered_load
+from repro.runner import (
+    ControllerSpec,
+    available_scenarios,
+    build_sweep,
+    get_scenario,
+    run_sweep,
+    stationary_sweeps,
+    tracking_results,
+)
+from repro.runner.specs import KIND_STATIONARY, KIND_TRACKING
+
+#: small enough for test runs; mirrors the smoke preset but tighter
+TINY = ExperimentScale(
+    stationary_horizon=2.0,
+    warmup=0.5,
+    offered_loads=(10, 30),
+    tracking_horizon=12.0,
+    measurement_interval=2.0,
+    synthetic_steps=30,
+)
+
+
+class TestRegistry:
+    def test_paper_scenarios_are_registered(self):
+        names = available_scenarios()
+        for name in ("fig12_stationary", "fig13_is_jump", "fig14_pa_jump",
+                     "sinusoid", "thrashing"):
+            assert name in names
+
+    def test_unknown_scenario_raises_with_listing(self):
+        with pytest.raises(KeyError, match="fig12_stationary"):
+            get_scenario("does_not_exist")
+
+    def test_fig12_structure(self):
+        sweep = build_sweep("fig12_stationary", scale=TINY)
+        assert len(sweep) == 3 * len(TINY.offered_loads)
+        assert all(cell.kind == KIND_STATIONARY for cell in sweep.cells)
+        labels = {cell.label for cell in sweep.cells}
+        assert labels == {"without control", "IS control", "PA control"}
+
+    def test_tracking_scenarios_structure(self):
+        fig13 = build_sweep("fig13_is_jump", scale=TINY)
+        assert [cell.label for cell in fig13.cells] == ["IS"]
+        fig14 = build_sweep("fig14_pa_jump", scale=TINY)
+        assert [cell.label for cell in fig14.cells] == ["PA", "IS"]
+        sinusoid = build_sweep("sinusoid", scale=TINY)
+        assert {cell.label for cell in sinusoid.cells} == {"IS", "PA"}
+        assert all(cell.kind == KIND_TRACKING
+                   for cell in fig13.cells + fig14.cells + sinusoid.cells)
+
+    def test_jump_time_follows_scale(self):
+        sweep = build_sweep("fig13_is_jump", scale=TINY)
+        _parameter, schedule = sweep.cells[0].scenario
+        assert schedule.jump_time == TINY.tracking_horizon / 2.0
+        assert schedule.before == 4
+        assert schedule.after == 16
+
+
+class TestRunSweep:
+    def test_registry_run_matches_sweep_offered_load(self):
+        """Acceptance: the registry path equals the classic serial sweep."""
+        result = run_sweep("thrashing", scale=TINY, workers=4)
+        (registry_sweep,) = stationary_sweeps(result).values()
+
+        from repro.experiments.config import default_system_params
+
+        classic = sweep_offered_load(default_system_params(), None, scale=TINY,
+                                     label="without control")
+        assert [p.offered_load for p in registry_sweep.points] == \
+            [p.offered_load for p in classic.points]
+        for ours, theirs in zip(registry_sweep.points, classic.points):
+            assert ours.throughput == theirs.throughput
+            assert ours.commits == theirs.commits
+            assert ours.mean_response_time == theirs.mean_response_time
+        assert registry_sweep.model_reference == classic.model_reference
+
+    def test_replicated_run_reports_ci(self):
+        result = run_sweep("thrashing", scale=TINY, replicates=5)
+        assert result.replicates == 5
+        for aggregate in result.aggregates:
+            throughput = aggregate.metric("throughput")
+            assert throughput.count == 5
+            assert throughput.ci_half_width > 0.0
+            assert "±" in throughput.format()
+        (sweep,) = stationary_sweeps(result).values()
+        assert isinstance(sweep, StationarySweep)
+        assert set(sweep.aggregates) == {10, 30}
+
+    def test_tracking_results_conversion(self):
+        result = run_sweep("fig13_is_jump", scale=TINY)
+        trajectories = tracking_results(result)
+        assert list(trajectories) == ["IS"]
+        assert trajectories["IS"].total_commits > 0
+
+    def test_tracking_results_label_collision_keeps_every_cell(self):
+        from repro.experiments.config import contention_bound_params
+        from repro.experiments.dynamic import jump_scenario, tracking_sweep_spec
+        from repro.runner.specs import SweepSpec
+
+        scenario = jump_scenario("accesses", 4, 8, jump_time=TINY.tracking_horizon / 2)
+        params = contention_bound_params(seed=17)
+        first = tracking_sweep_spec({"IS": ControllerSpec.make("incremental_steps")},
+                                    scenario, base_params=params, scale=TINY, name="a")
+        second = tracking_sweep_spec({"IS": ControllerSpec.make("incremental_steps")},
+                                     scenario, base_params=params, scale=TINY, name="b")
+        merged = SweepSpec(name="merged", cells=first.cells + second.cells)
+        trajectories = tracking_results(run_sweep(merged))
+        # an ambiguous label keys every affected cell by its unique cell id
+        assert set(trajectories) == {"a/IS", "b/IS"}
+
+    def test_overrides_reach_the_builder(self):
+        sweep = build_sweep("fig13_is_jump", scale=TINY, jump_before=2, jump_after=20)
+        _parameter, schedule = sweep.cells[0].scenario
+        assert schedule.before == 2
+        assert schedule.after == 20
+
+    def test_unknown_override_rejected(self):
+        # a typoed or unsupported override must not silently run the
+        # default experiment
+        with pytest.raises(TypeError, match="jump_befor"):
+            build_sweep("fig13_is_jump", scale=TINY, jump_befor=2)
+        with pytest.raises(TypeError, match="jump_before"):
+            build_sweep("thrashing", scale=TINY, jump_before=8)
+
+    def test_spec_with_scenario_kwargs_rejected(self):
+        spec = build_sweep("thrashing", scale=TINY)
+        with pytest.raises(TypeError, match="named scenarios"):
+            run_sweep(spec, scale=TINY)
+
+    def test_sweep_offered_load_controller_spec_parallel(self):
+        sweep = sweep_offered_load(
+            controller_factory=ControllerSpec.make("parabola"),
+            scale=TINY, label="PA", workers=2)
+        assert [point.offered_load for point in sweep.points] == [10, 30]
+        serial = sweep_offered_load(
+            controller_factory=ControllerSpec.make("parabola"),
+            scale=TINY, label="PA", workers=0)
+        assert [p.throughput for p in sweep.points] == \
+            [p.throughput for p in serial.points]

@@ -1,0 +1,100 @@
+"""Tests for replicate aggregation (mean ± confidence interval)."""
+
+import math
+
+import pytest
+
+from repro.runner.cells import CellResult
+from repro.runner.replication import (
+    aggregate_cells,
+    aggregate_values,
+    t_critical,
+)
+
+
+class TestTCritical:
+    def test_known_values(self):
+        assert t_critical(1) == pytest.approx(12.706)
+        assert t_critical(4) == pytest.approx(2.776)
+        assert t_critical(30) == pytest.approx(2.042)
+
+    def test_normal_fallback_beyond_table(self):
+        assert t_critical(1000) == pytest.approx(1.960)
+
+    def test_other_confidences(self):
+        assert t_critical(4, confidence=0.90) == pytest.approx(2.132)
+        assert t_critical(4, confidence=0.99) == pytest.approx(4.604)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="df"):
+            t_critical(0)
+        with pytest.raises(ValueError, match="confidence"):
+            t_critical(5, confidence=0.5)
+
+
+class TestAggregateValues:
+    def test_single_value_has_zero_width(self):
+        aggregate = aggregate_values([3.5])
+        assert aggregate.mean == 3.5
+        assert aggregate.std == 0.0
+        assert aggregate.ci_half_width == 0.0
+        assert aggregate.count == 1
+
+    def test_known_statistics(self):
+        values = [10.0, 12.0, 14.0, 16.0, 18.0]
+        aggregate = aggregate_values(values)
+        assert aggregate.mean == pytest.approx(14.0)
+        # sample std of an arithmetic sequence with step 2: sqrt(10)
+        assert aggregate.std == pytest.approx(math.sqrt(10.0))
+        expected_half_width = 2.776 * math.sqrt(10.0) / math.sqrt(5)
+        assert aggregate.ci_half_width == pytest.approx(expected_half_width)
+        assert aggregate.lower == pytest.approx(14.0 - expected_half_width)
+        assert aggregate.upper == pytest.approx(14.0 + expected_half_width)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            aggregate_values([])
+
+    def test_format(self):
+        assert aggregate_values([2.0]).format() == "2.00"
+        formatted = aggregate_values([1.0, 3.0]).format("{:.1f}")
+        assert formatted.startswith("2.0 ± ")
+
+    def test_non_finite_observations_do_not_produce_nan(self):
+        # uncontrolled cells report final_limit=inf in every replicate
+        aggregate = aggregate_values([math.inf, math.inf, math.inf])
+        assert aggregate.mean == math.inf
+        assert aggregate.std == 0.0
+        assert aggregate.ci_half_width == 0.0
+        assert "nan" not in aggregate.format()
+
+    def test_identical_observations_render_bare_mean(self):
+        assert aggregate_values([5.0, 5.0]).format() == "5.00"
+
+
+def _result(cell_id, replicate, **metrics):
+    return CellResult(cell_id=cell_id, kind="stationary", replicate=replicate,
+                      label=cell_id, metrics=metrics)
+
+
+class TestAggregateCells:
+    def test_groups_by_cell_in_first_seen_order(self):
+        results = [
+            _result("b", 0, throughput=10.0),
+            _result("b", 1, throughput=14.0),
+            _result("a", 0, throughput=5.0),
+        ]
+        aggregates = aggregate_cells(results)
+        assert [aggregate.cell_id for aggregate in aggregates] == ["b", "a"]
+        assert aggregates[0].count == 2
+        assert aggregates[0].metric("throughput").mean == pytest.approx(12.0)
+        assert aggregates[1].count == 1
+
+    def test_partially_missing_metric_is_kept(self):
+        results = [
+            _result("a", 0, throughput=10.0, mean_abs_error=2.0),
+            _result("a", 1, throughput=12.0),
+        ]
+        (aggregate,) = aggregate_cells(results)
+        assert aggregate.metric("throughput").count == 2
+        assert aggregate.metric("mean_abs_error").count == 1

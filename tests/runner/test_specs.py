@@ -1,0 +1,151 @@
+"""Tests for the runner's picklable experiment descriptors."""
+
+import pickle
+
+import pytest
+
+from repro.core.incremental_steps import IncrementalStepsController
+from repro.core.parabola import ParabolaController
+from repro.core.static import FixedLimit, NoControl
+from repro.experiments.config import ExperimentScale, default_system_params
+from repro.experiments.dynamic import jump_scenario
+from repro.runner.specs import (
+    KIND_STATIONARY,
+    KIND_TRACKING,
+    ControllerSpec,
+    RunSpec,
+    SweepSpec,
+    controller_kinds,
+)
+
+
+def _stationary_spec(**overrides):
+    settings = dict(
+        kind=KIND_STATIONARY,
+        cell_id="test/cell/N=50",
+        params=default_system_params().with_changes(n_terminals=50),
+        scale=ExperimentScale.smoke(),
+        controller=None,
+        label="test",
+    )
+    settings.update(overrides)
+    return RunSpec(**settings)
+
+
+class TestControllerSpec:
+    def test_make_sorts_options(self):
+        first = ControllerSpec.make("parabola", forgetting=0.9, initial_limit=10)
+        second = ControllerSpec.make("parabola", initial_limit=10, forgetting=0.9)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_build_constructs_controller(self):
+        params = default_system_params().with_changes(n_terminals=123)
+        spec = ControllerSpec.make("parabola", initial_limit=15)
+        controller = spec.build(params)
+        assert isinstance(controller, ParabolaController)
+        assert controller.initial_limit == 15
+        # bounds default to the cell's offered load
+        assert controller.upper_bound == 123
+
+    def test_build_returns_fresh_instances(self):
+        params = default_system_params()
+        spec = ControllerSpec.make("incremental_steps")
+        assert spec.build(params) is not spec.build(params)
+        assert isinstance(spec.build(params), IncrementalStepsController)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="unknown controller kind"):
+            ControllerSpec.make("nonsense").build(default_system_params())
+
+    def test_registry_contains_all_section1_policies(self):
+        kinds = controller_kinds()
+        for kind in ("no_control", "fixed", "tay", "iyer",
+                     "incremental_steps", "parabola"):
+            assert kind in kinds
+
+    def test_static_kinds(self):
+        params = default_system_params()
+        assert isinstance(ControllerSpec.make("no_control").build(params), NoControl)
+        fixed = ControllerSpec.make("fixed", limit=33).build(params)
+        assert isinstance(fixed, FixedLimit)
+        assert fixed.limit == 33
+
+    def test_specs_are_picklable(self):
+        spec = ControllerSpec.make("parabola", initial_limit=10)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestRunSpec:
+    def test_tracking_requires_scenario(self):
+        with pytest.raises(ValueError, match="scenario"):
+            _stationary_spec(kind=KIND_TRACKING,
+                             controller=ControllerSpec.make("parabola"))
+
+    def test_tracking_requires_controller(self):
+        scenario = jump_scenario("accesses", 4, 8, jump_time=10.0)
+        with pytest.raises(ValueError, match="controller"):
+            _stationary_spec(kind=KIND_TRACKING, scenario=scenario)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            _stationary_spec(kind="warp")
+
+    def test_negative_replicate_rejected(self):
+        with pytest.raises(ValueError, match="replicate"):
+            _stationary_spec(replicate=-1)
+
+    def test_controller_factory_paths(self):
+        assert _stationary_spec(controller=None).controller_factory() is None
+        spec_controller = _stationary_spec(controller=ControllerSpec.make("parabola"))
+        assert isinstance(spec_controller.build_controller(), ParabolaController)
+
+        def factory(params):
+            return NoControl(upper_bound=params.n_terminals)
+
+        callable_controller = _stationary_spec(controller=factory)
+        assert isinstance(callable_controller.build_controller(), NoControl)
+
+    def test_run_spec_is_picklable(self):
+        scenario = jump_scenario("accesses", 4, 8, jump_time=10.0)
+        spec = _stationary_spec(kind=KIND_TRACKING, scenario=scenario,
+                                controller=ControllerSpec.make("parabola"))
+        restored = pickle.loads(pickle.dumps(spec))
+        assert restored.cell_id == spec.cell_id
+        assert restored.scenario[0] == "accesses"
+        assert restored.scenario[1].value(20.0) == 8
+
+
+class TestSweepSpec:
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError, match="at least one cell"):
+            SweepSpec(name="empty", cells=())
+
+    def test_with_replicates_expands_in_order(self):
+        sweep = SweepSpec(name="s", cells=(_stationary_spec(),))
+        expanded = sweep.with_replicates(3)
+        assert len(expanded) == 3
+        assert [cell.replicate for cell in expanded.cells] == [0, 1, 2]
+        assert expanded.cell_ids() == sweep.cell_ids()
+
+    def test_with_replicates_one_is_identity(self):
+        sweep = SweepSpec(name="s", cells=(_stationary_spec(),))
+        assert sweep.with_replicates(1) is sweep
+
+    def test_hand_expanded_sweep_passes_through_replicates_one(self):
+        # a sweep built with explicit replicate indices is legal input to
+        # run_sweep's default replicates=1 path
+        sweep = SweepSpec(name="s", cells=(
+            _stationary_spec(replicate=0), _stationary_spec(replicate=1)))
+        assert sweep.with_replicates(1) is sweep
+
+    def test_double_expansion_rejected(self):
+        sweep = SweepSpec(name="s", cells=(_stationary_spec(),)).with_replicates(2)
+        with pytest.raises(ValueError, match="already been expanded"):
+            sweep.with_replicates(2)
+
+    def test_duplicate_cell_ids_rejected(self):
+        # two different cells sharing an id would be pooled into one
+        # aggregate downstream, silently mixing unrelated samples
+        with pytest.raises(ValueError, match="duplicate cell"):
+            SweepSpec(name="s", cells=(_stationary_spec(), _stationary_spec()))

@@ -52,6 +52,65 @@ class TestStreamIdentity:
         assert set(streams.names()) == {"x", "y"}
 
 
+class TestNameKeyCollisionResistance:
+    def test_crc32_colliding_names_get_distinct_streams(self):
+        # "plumless" and "buckeroo" are a classic crc32 collision pair; the
+        # old crc32-based keying gave them identical streams
+        import zlib
+        assert zlib.crc32(b"plumless") == zlib.crc32(b"buckeroo")
+        streams = RandomStreams(seed=5)
+        first = streams.stream("plumless").random(8)
+        second = streams.stream("buckeroo").random(8)
+        assert not np.allclose(first, second)
+
+
+class TestReplicateSpawn:
+    def test_spawn_is_reproducible(self):
+        first = RandomStreams(seed=9).spawn(3).stream("cpu").random(5)
+        second = RandomStreams(seed=9).spawn(3).stream("cpu").random(5)
+        np.testing.assert_array_equal(first, second)
+
+    def test_replicates_are_independent_of_root_and_each_other(self):
+        root = RandomStreams(seed=9).stream("cpu").random(5)
+        replicate_0 = RandomStreams(seed=9).spawn(0).stream("cpu").random(5)
+        replicate_1 = RandomStreams(seed=9).spawn(1).stream("cpu").random(5)
+        assert not np.allclose(root, replicate_0)
+        assert not np.allclose(root, replicate_1)
+        assert not np.allclose(replicate_0, replicate_1)
+
+    def test_spawn_stable_across_stream_creation_order(self):
+        forward = RandomStreams(seed=13).spawn(2)
+        forward.stream("a")
+        forward.stream("b")
+        value_forward = forward.stream("c").random()
+
+        backward = RandomStreams(seed=13).spawn(2)
+        value_backward = backward.stream("c").random()
+        backward.stream("a")
+        backward.stream("b")
+        assert value_forward == value_backward
+
+    def test_spawn_stable_across_spawn_order(self):
+        # creating other replicates first must not perturb a replicate
+        streams = RandomStreams(seed=13)
+        streams.spawn(0).stream("x").random(3)
+        late = streams.spawn(2).stream("x").random(3)
+        fresh = RandomStreams(seed=13).spawn(2).stream("x").random(3)
+        np.testing.assert_array_equal(late, fresh)
+
+    def test_nested_spawn_differs_from_flat(self):
+        nested = RandomStreams(seed=7).spawn(1).spawn(1).stream("s").random(3)
+        flat = RandomStreams(seed=7).spawn(1).stream("s").random(3)
+        assert not np.allclose(nested, flat)
+
+    def test_spawn_validates_arguments(self):
+        streams = RandomStreams(seed=0)
+        with pytest.raises(ValueError):
+            streams.spawn(-1)
+        with pytest.raises(TypeError):
+            streams.spawn(1.5)
+
+
 class TestSamplingHelpers:
     def test_exponential_zero_mean_is_zero(self):
         streams = RandomStreams(seed=0)

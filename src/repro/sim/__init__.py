@@ -33,6 +33,7 @@ from repro.sim.stats import (
     TimeWeightedStats,
     confidence_interval,
 )
+from repro.sim.trace import TrajectoryTracer, active_tracer, install_tracer, tracing
 
 __all__ = [
     "Event",
@@ -48,4 +49,8 @@ __all__ = [
     "ObservationStats",
     "TimeWeightedStats",
     "confidence_interval",
+    "TrajectoryTracer",
+    "active_tracer",
+    "install_tracer",
+    "tracing",
 ]

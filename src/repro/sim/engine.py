@@ -5,7 +5,7 @@ The engine follows the classic event/process design used by SimPy:
 * A :class:`Simulator` owns the clock and a priority queue of scheduled
   events.
 * An :class:`Event` is a one-shot object that is *triggered* (succeeded or
-  failed) and later *processed*, at which point its callbacks run.
+  failed) and later *processed*, at which point its waiter and callbacks run.
 * A :class:`Process` wraps a generator.  The generator yields events; the
   process resumes when the yielded event is processed.  The value of the
   event is sent into the generator (or, for failed events, the exception is
@@ -18,11 +18,43 @@ The engine follows the classic event/process design used by SimPy:
 The engine is deliberately small but complete enough to express the closed
 transaction processing model of the paper: FCFS resources, timeouts,
 interrupts and process completion events.
+
+Hot-path design (the engine dominates experiment cell runtime, so the
+common paths are aggressively slimmed; the golden-trajectory harness under
+``tests/golden/`` pins the resulting behavior bit for bit):
+
+* **Direct process resume.**  In the overwhelmingly common case exactly one
+  process waits on an event (``yield sim.timeout(...)``, ``yield child``).
+  That process is stored in the event's ``_waiter`` slot and resumed
+  directly when the event is processed — no callback list is allocated, no
+  indirection through bound methods.  Explicit :meth:`Event.add_callback`
+  callbacks still work and run *after* the waiter only if the waiter
+  registered first (registration order is preserved exactly).
+* **Lazy callback lists.**  ``Event.callbacks`` is ``None`` until the first
+  callback is registered (and ``None`` again once processed), so the two
+  dominant event kinds — timeouts and process completions — never allocate
+  a list.
+* **Slim heap entries with an explicit tie-break.**  The pending queue
+  holds ``(time, sequence, event)`` triples.  ``sequence`` is a monotonic
+  counter assigned at scheduling time; it is the *documented contract* for
+  equal-timestamp ordering: events scheduled at the same simulation time
+  are processed strictly in the order they were scheduled (FIFO).  The
+  counter also guarantees the heap never compares two :class:`Event`
+  objects.  (Earlier revisions carried an unused ``priority`` field;
+  ordering is by ``(time, sequence)`` only.)
+* **Fast-path construction.**  :class:`Timeout` initialises its fields
+  directly and schedules itself without going through the generic
+  ``succeed`` machinery, and process bootstrap/interrupt wake-ups use
+  pre-triggered internal events built without redundant state checks.
+* **Inlined run loop.**  :meth:`Simulator.run` processes events with local
+  variable bindings instead of per-event method dispatch.  It must stay
+  semantically in sync with :meth:`Simulator.step` (kept for manual
+  stepping and tests).
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 
@@ -60,21 +92,26 @@ class Event:
     * *triggered* -- a value (or exception) has been set and the event has
       been scheduled on the simulator's queue;
     * *processed* -- the simulator has popped the event and executed its
-      callbacks.
+      waiter and callbacks.
 
     Callbacks are callables of one argument (the event itself).  They run in
-    the order they were appended.
+    the order they were appended.  ``callbacks`` is ``None`` while no
+    callback is registered and again after the event has been processed; a
+    process waiting on the event is held in the separate ``_waiter`` slot
+    (see the module docstring) and runs in its registration position.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "_processed")
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered",
+                 "_processed", "_waiter")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = None
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._triggered = False
         self._processed = False
+        self._waiter: Optional["Process"] = None
 
     # ------------------------------------------------------------------
     # state inspection
@@ -86,7 +123,7 @@ class Event:
 
     @property
     def processed(self) -> bool:
-        """True once the event's callbacks have been executed."""
+        """True once the event's waiter/callbacks have been executed."""
         return self._processed
 
     @property
@@ -121,7 +158,10 @@ class Event:
             raise SimulationError("event has already been triggered")
         self._value = value
         self._triggered = True
-        self.sim._schedule(self)
+        sim = self.sim
+        seq = sim._sequence
+        sim._sequence = seq + 1
+        heappush(sim._queue, (sim._now, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -132,7 +172,10 @@ class Event:
             raise TypeError(f"fail() expects an exception instance, got {exception!r}")
         self._exception = exception
         self._triggered = True
-        self.sim._schedule(self)
+        sim = self.sim
+        seq = sim._sequence
+        sim._sequence = seq + 1
+        heappush(sim._queue, (sim._now, seq, self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -141,8 +184,10 @@ class Event:
         If the event has already been processed the callback runs
         immediately (still at the current simulation time).
         """
-        if self._processed or self.callbacks is None:
+        if self._processed:
             callback(self)
+        elif self.callbacks is None:
+            self.callbacks = [callback]
         else:
             self.callbacks.append(callback)
 
@@ -157,18 +202,30 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that succeeds after a fixed delay."""
+    """An event that succeeds after a fixed delay.
+
+    Construction is the engine's hottest allocation site, so the fields are
+    initialised directly and the event schedules itself without the generic
+    ``succeed`` checks (a fresh timeout cannot have been triggered before).
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"timeout delay must be non-negative, got {delay}")
-        super().__init__(sim)
-        self.delay = float(delay)
+        delay = float(delay)
+        self.sim = sim
+        self.callbacks = None
         self._value = value
+        self._exception = None
         self._triggered = True
-        sim._schedule(self, delay=self.delay)
+        self._processed = False
+        self._waiter = None
+        self.delay = delay
+        seq = sim._sequence
+        sim._sequence = seq + 1
+        heappush(sim._queue, (sim._now + delay, seq, self))
 
 
 class Process(Event):
@@ -188,15 +245,22 @@ class Process(Event):
                 "Process expects a generator (did you forget to call the "
                 f"process function?), got {generator!r}"
             )
-        super().__init__(sim)
+        # inline Event.__init__ -- one process is created per transaction
+        # execution, so the extra constructor frame is measurable
+        self.sim = sim
+        self.callbacks = None
+        self._value = None
+        self._exception = None
+        self._triggered = False
+        self._processed = False
+        self._waiter = None
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
         self._resume_callback = self._resume
-        # Kick the process off at the current time.
-        bootstrap = Event(sim)
-        bootstrap.add_callback(self._resume_callback)
-        bootstrap.succeed(None)
+        # Kick the process off at the current time with a pre-triggered
+        # internal event carrying this process as its direct waiter.
+        sim._schedule_wakeup(self, None)
 
     # ------------------------------------------------------------------
     @property
@@ -209,18 +273,19 @@ class Process(Event):
 
         Interrupting a process that has already finished is an error; callers
         should check :attr:`is_alive` first.  The event the process is
-        currently waiting on is abandoned (its callbacks no longer include
-        this process).
+        currently waiting on is abandoned (it no longer resumes this
+        process).
         """
-        if not self.is_alive:
+        if self._triggered:
             raise SimulationError(f"cannot interrupt terminated process {self.name!r}")
         target = self._target
         if target is not None:
-            target.remove_callback(self._resume_callback)
+            if target._waiter is self:
+                target._waiter = None
+            else:
+                target.remove_callback(self._resume_callback)
             self._target = None
-        wakeup = Event(self.sim)
-        wakeup.add_callback(self._resume_callback)
-        wakeup.fail(Interrupt(cause))
+        self.sim._schedule_wakeup(self, Interrupt(cause))
 
     def kill(self, cause: Any = None) -> None:
         """Terminate the process without running any more of its code.
@@ -229,11 +294,14 @@ class Process(Event):
         termination; its completion event fails with :class:`ProcessKilled`.
         Used for hard shutdown of the simulation world in tests.
         """
-        if not self.is_alive:
+        if self._triggered:
             return
         target = self._target
         if target is not None:
-            target.remove_callback(self._resume_callback)
+            if target._waiter is self:
+                target._waiter = None
+            else:
+                target.remove_callback(self._resume_callback)
             self._target = None
         self.generator.close()
         self.fail(ProcessKilled(cause))
@@ -242,56 +310,62 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
         self._target = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
             if event._exception is None:
                 next_target = self.generator.send(event._value)
             else:
                 next_target = self.generator.throw(event._exception)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             if not self._triggered:
                 self.succeed(stop.value)
             return
         except Interrupt as unhandled:
             # The process chose not to handle an interrupt: treat as failure.
-            self.sim._active_process = None
+            sim._active_process = None
             if not self._triggered:
                 self.fail(unhandled)
             return
         except BaseException as exc:
-            self.sim._active_process = None
+            sim._active_process = None
             if not self._triggered:
                 self.fail(exc)
             if not isinstance(exc, Exception):  # re-raise KeyboardInterrupt etc.
                 raise
-            if self.sim.raise_process_errors:
+            if sim.raise_process_errors:
                 raise
             return
-        finally:
-            if self.sim._active_process is self:
-                self.sim._active_process = None
+        sim._active_process = None
 
-        if not isinstance(next_target, Event):
-            error = SimulationError(
-                f"process {self.name!r} yielded {next_target!r}; processes must yield Event objects"
-            )
-            self.generator.close()
-            self.fail(error)
-            if self.sim.raise_process_errors:
-                raise error
+        if isinstance(next_target, Event) and next_target.sim is sim:
+            self._target = next_target
+            if next_target._processed:
+                # same semantics as registering a callback on a processed
+                # event: resume immediately at the current time
+                self._resume(next_target)
+            elif next_target._waiter is None and next_target.callbacks is None:
+                # common case: sole consumer -- direct resume, no list
+                next_target._waiter = self
+            elif next_target.callbacks is None:
+                next_target.callbacks = [self._resume_callback]
+            else:
+                next_target.callbacks.append(self._resume_callback)
             return
-        if next_target.sim is not self.sim:
+
+        if isinstance(next_target, Event):
             error = SimulationError(
                 f"process {self.name!r} yielded an event bound to a different simulator"
             )
-            self.generator.close()
-            self.fail(error)
-            if self.sim.raise_process_errors:
-                raise error
-            return
-        self._target = next_target
-        next_target.add_callback(self._resume_callback)
+        else:
+            error = SimulationError(
+                f"process {self.name!r} yielded {next_target!r}; processes must yield Event objects"
+            )
+        self.generator.close()
+        self.fail(error)
+        if sim.raise_process_errors:
+            raise error
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self._triggered else "alive"
@@ -341,18 +415,22 @@ class Simulator:
     Responsibilities:
 
     * maintain the simulation clock (:attr:`now`);
-    * maintain the pending-event queue ordered by (time, priority, sequence);
-    * run events and their callbacks in deterministic order;
+    * maintain the pending-event queue ordered by ``(time, sequence)``;
+    * run events, their waiting processes and their callbacks in
+      deterministic order;
     * provide factory helpers (:meth:`timeout`, :meth:`process`,
       :meth:`event`) so user code never touches the queue directly.
 
     The executive is single-threaded and deterministic: two runs with the
-    same seeds produce identical traces.
+    same seeds produce identical traces.  **Equal-timestamp ordering
+    contract:** events scheduled at the same simulation time are processed
+    strictly in scheduling order, enforced by the monotonic ``sequence``
+    counter carried in every heap entry (not by heap insertion accidents).
     """
 
     def __init__(self, start_time: float = 0.0, raise_process_errors: bool = True):
         self._now = float(start_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
         #: If True (default), exceptions escaping a process propagate out of
@@ -384,8 +462,27 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        """Create an event that fires ``delay`` time units from now.
+
+        This is the hottest allocation in the engine; the fields are set
+        inline (equivalent to ``Timeout(self, delay, value)`` without the
+        extra constructor frame).
+        """
+        if delay < 0:
+            raise ValueError(f"timeout delay must be non-negative, got {delay}")
+        event = Timeout.__new__(Timeout)
+        event.sim = self
+        event.callbacks = None
+        event._value = value
+        event._exception = None
+        event._triggered = True
+        event._processed = False
+        event._waiter = None
+        event.delay = delay = float(delay)
+        seq = self._sequence
+        self._sequence = seq + 1
+        heappush(self._queue, (self._now + delay, seq, event))
+        return event
 
     def process(self, generator: Generator[Event, Any, Any], name: Optional[str] = None) -> Process:
         """Start a new process from ``generator``."""
@@ -402,9 +499,25 @@ class Simulator:
     # ------------------------------------------------------------------
     # scheduling / running
     # ------------------------------------------------------------------
-    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, priority, self._sequence, event))
-        self._sequence += 1
+    def _schedule_wakeup(self, process: Process, exception: Optional[BaseException]) -> None:
+        """Schedule an internal pre-triggered event that resumes ``process`` now.
+
+        Used for process bootstrap (``exception=None`` sends ``None`` into
+        the generator) and interrupts (the exception is thrown into it).
+        The event is built directly -- it is internal, already triggered,
+        and its sole consumer is the process itself.
+        """
+        wakeup = Event.__new__(Event)
+        wakeup.sim = self
+        wakeup.callbacks = None
+        wakeup._value = None
+        wakeup._exception = exception
+        wakeup._triggered = True
+        wakeup._processed = False
+        wakeup._waiter = process
+        seq = self._sequence
+        self._sequence = seq + 1
+        heappush(self._queue, (self._now, seq, wakeup))
 
     def call_at(self, time: float, callback: Callable[[], None]) -> Event:
         """Run ``callback`` (a zero-argument callable) at absolute ``time``."""
@@ -423,17 +536,26 @@ class Simulator:
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event.
+
+        Kept for manual stepping and tests; :meth:`run` inlines the same
+        logic for speed -- the two must stay semantically identical.
+        """
         if not self._queue:
             raise SimulationError("cannot step an empty event queue")
-        time, _priority, _seq, event = heapq.heappop(self._queue)
+        time, _seq, event = heappop(self._queue)
         if time < self._now - 1e-12:
             raise SimulationError("event scheduled in the past; queue corrupted")
-        self._now = max(self._now, time)
-        callbacks = event.callbacks
-        event.callbacks = None
+        if time > self._now:
+            self._now = time
         event._processed = True
-        if callbacks:
+        waiter = event._waiter
+        if waiter is not None:
+            event._waiter = None
+            waiter._resume(event)
+        callbacks = event.callbacks
+        if callbacks is not None:
+            event.callbacks = None
             for callback in callbacks:
                 callback(event)
 
@@ -452,11 +574,33 @@ class Simulator:
             until = float(until)
             if until < self._now:
                 raise ValueError(f"until={until} lies in the past (now={self._now})")
+        queue = self._queue
+        pop = heappop
+        limit = float("inf") if until is None else until
+        now = self._now
         try:
-            while self._queue:
-                if until is not None and self._queue[0][0] > until:
+            # inlined event loop (see step(): same semantics, local bindings)
+            while queue:
+                entry = pop(queue)
+                time = entry[0]
+                if time > limit:
+                    heappush(queue, entry)
                     break
-                self.step()
+                if time > now:
+                    self._now = now = time
+                elif time < now - 1e-12:
+                    raise SimulationError("event scheduled in the past; queue corrupted")
+                event = entry[2]
+                event._processed = True
+                waiter = event._waiter
+                if waiter is not None:
+                    event._waiter = None
+                    waiter._resume(event)
+                callbacks = event.callbacks
+                if callbacks is not None:
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
         except StopSimulation:
             pass
         if until is not None and self._now < until:

@@ -14,6 +14,13 @@ succeeds once the resource is granted; the holder must later call
 ``release(request)``.  Requests may be cancelled before they are granted,
 which is how interrupted transactions withdraw from queues without leaking
 capacity.
+
+Hot-path design: every grant and release is O(1).  Held slots are a plain
+counter (a request knows whether it holds the resource via its ``granted``
+flag), and cancelling a waiting request marks it and adjusts the live queue
+count instead of scanning the deque -- cancelled entries are skipped lazily
+when they reach the head.  Grant order (strict FCFS among non-cancelled
+requests) and all time-integral statistics are unchanged.
 """
 
 from __future__ import annotations
@@ -30,11 +37,19 @@ class Request(Event):
     __slots__ = ("resource", "granted", "cancelled", "enqueued_at", "granted_at")
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.sim)
+        # inline Event.__init__ -- requests are created once per CPU phase
+        sim = resource.sim
+        self.sim = sim
+        self.callbacks = None
+        self._value = None
+        self._exception = None
+        self._triggered = False
+        self._processed = False
+        self._waiter = None
         self.resource = resource
         self.granted = False
         self.cancelled = False
-        self.enqueued_at = resource.sim.now
+        self.enqueued_at = sim._now
         self.granted_at: Optional[float] = None
 
     def cancel(self) -> None:
@@ -49,7 +64,9 @@ class Request(Event):
         self.cancelled = True
         if self.granted:
             self.resource.release(self)
-        else:
+        elif not self._triggered:
+            # still waiting (a granted-then-released request is triggered and
+            # needs no queue accounting)
             self.resource._drop_waiting(self)
 
 
@@ -67,8 +84,11 @@ class Resource:
         self.sim = sim
         self.capacity = int(capacity)
         self.name = name
-        self._users: set[Request] = set()
+        self._in_use = 0
+        # the deque may contain already-cancelled requests (lazily skipped);
+        # _waiting_count is the live number of non-cancelled waiters
         self._waiting: Deque[Request] = deque()
+        self._waiting_count = 0
         # statistics: time integrals of busy servers and queue length
         self._last_change = sim.now
         self._busy_time_integral = 0.0
@@ -80,12 +100,12 @@ class Resource:
     @property
     def in_use(self) -> int:
         """Number of servers currently held."""
-        return len(self._users)
+        return self._in_use
 
     @property
     def queue_length(self) -> int:
-        """Number of requests waiting for a server."""
-        return len(self._waiting)
+        """Number of (non-cancelled) requests waiting for a server."""
+        return self._waiting_count
 
     # ------------------------------------------------------------------
     def request(self) -> Request:
@@ -93,45 +113,46 @@ class Resource:
         self._accumulate()
         req = Request(self)
         self.total_requests += 1
-        if len(self._users) < self.capacity:
+        if self._in_use < self.capacity:
             self._grant(req)
         else:
             self._waiting.append(req)
+            self._waiting_count += 1
         return req
 
     def release(self, req: Request) -> None:
         """Return the server held by ``req`` and grant the next waiter."""
-        if req not in self._users:
+        if req.resource is not self or not req.granted:
             raise SimulationError(
                 f"release of a request that does not hold {self.name!r} "
                 "(double release or foreign request)"
             )
         self._accumulate()
-        self._users.discard(req)
         req.granted = False
+        self._in_use -= 1
         self._grant_waiters()
 
     def _drop_waiting(self, req: Request) -> None:
-        """Remove a cancelled request from the waiting queue."""
+        """Account for a cancelled waiting request (removed lazily)."""
         self._accumulate()
-        try:
-            self._waiting.remove(req)
-        except ValueError:
-            pass
+        self._waiting_count -= 1
 
     # ------------------------------------------------------------------
     def _grant(self, req: Request) -> None:
         req.granted = True
-        req.granted_at = self.sim.now
-        self.total_wait_time += req.granted_at - req.enqueued_at
-        self._users.add(req)
+        now = self.sim.now
+        req.granted_at = now
+        self.total_wait_time += now - req.enqueued_at
+        self._in_use += 1
         req.succeed(req)
 
     def _grant_waiters(self) -> None:
-        while self._waiting and len(self._users) < self.capacity:
-            req = self._waiting.popleft()
+        waiting = self._waiting
+        while waiting and self._in_use < self.capacity:
+            req = waiting.popleft()
             if req.cancelled:
                 continue
+            self._waiting_count -= 1
             self._grant(req)
 
     # ------------------------------------------------------------------
@@ -141,8 +162,8 @@ class Resource:
         now = self.sim.now
         elapsed = now - self._last_change
         if elapsed > 0:
-            self._busy_time_integral += elapsed * len(self._users)
-            self._queue_time_integral += elapsed * len(self._waiting)
+            self._busy_time_integral += elapsed * self._in_use
+            self._queue_time_integral += elapsed * self._waiting_count
             self._last_change = now
 
     def utilisation(self, since: float = 0.0) -> float:

@@ -75,7 +75,14 @@ def _normal_quantile(probability: float) -> float:
 
 
 class ObservationStats:
-    """Streaming mean and variance of discrete observations (Welford)."""
+    """Streaming mean and variance of discrete observations (Welford).
+
+    ``add`` sits on the simulation hot path (every commit and admission
+    records an observation), so the class is slotted and the accumulation
+    reads each attribute once.
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "_minimum", "_maximum", "_total")
 
     def __init__(self) -> None:
         self.count = 0
@@ -88,10 +95,13 @@ class ObservationStats:
     def add(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self.count += 1
-        delta = value - self._mean
-        self._mean += delta / self.count
-        self._m2 += delta * (value - self._mean)
+        count = self.count + 1
+        self.count = count
+        mean = self._mean
+        delta = value - mean
+        mean += delta / count
+        self._mean = mean
+        self._m2 += delta * (value - mean)
         self._total += value
         if value < self._minimum:
             self._minimum = value
@@ -162,7 +172,13 @@ class TimeWeightedStats:
     Typical use: track the concurrency level ``n(t)``; every time it changes
     call :meth:`update` with the new value, then read :attr:`mean` at the end
     of a measurement interval.
+
+    ``update`` runs on every admission, departure and queue change, so the
+    class is slotted and the update path avoids repeated attribute reads.
     """
+
+    __slots__ = ("_last_time", "_value", "_area", "_start_time",
+                 "_minimum", "_maximum")
 
     def __init__(self, time: float, value: float = 0.0) -> None:
         self._last_time = float(time)
@@ -180,17 +196,19 @@ class TimeWeightedStats:
     def update(self, time: float, value: float) -> None:
         """Record that the quantity changed to ``value`` at ``time``."""
         time = float(time)
-        if time < self._last_time - 1e-12:
+        last_time = self._last_time
+        if time < last_time - 1e-12:
             raise ValueError(
-                f"time must be non-decreasing: got {time} after {self._last_time}"
+                f"time must be non-decreasing: got {time} after {last_time}"
             )
-        self._area += (time - self._last_time) * self._value
+        value = float(value)
+        self._area += (time - last_time) * self._value
         self._last_time = time
-        self._value = float(value)
-        if self._value < self._minimum:
-            self._minimum = self._value
-        if self._value > self._maximum:
-            self._maximum = self._value
+        self._value = value
+        if value < self._minimum:
+            self._minimum = value
+        if value > self._maximum:
+            self._maximum = value
 
     def mean(self, until: Optional[float] = None) -> float:
         """Time-weighted mean from the start (or last reset) until ``until``."""

@@ -1,0 +1,80 @@
+"""Opt-in trajectory tracing for the transaction system.
+
+The golden-trajectory regression harness (``tests/golden/``) pins the
+simulator's behavior down to the individual transaction lifecycle event:
+every submission, admission, commit, abort and departure, with its exact
+simulation timestamp.  Collecting that log from inside the hot path must
+cost nothing when tracing is off, so the hook is a single module-level
+slot: :class:`TransactionSystem <repro.tp.system.TransactionSystem>` reads
+it once at construction time and afterwards pays only a ``None`` check per
+lifecycle event (never per kernel event).
+
+Tracing is process-local.  The multiprocessing executors do not propagate
+an installed tracer into worker processes; the golden harness therefore
+captures full event logs serially and checks the (equally deterministic)
+summary metrics for the parallel path.
+
+Usage::
+
+    tracer = TrajectoryTracer()
+    with tracing(tracer):
+        execute_run_spec(spec)
+    tracer.events  # [(time, kind, txn_id, detail), ...]
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
+
+#: one trajectory record: (simulation time, event kind, txn id, detail)
+TraceEvent = Tuple[float, str, int, str]
+
+#: lifecycle event kinds recorded by the transaction system
+SUBMIT = "submit"
+ADMIT = "admit"
+COMMIT = "commit"
+ABORT = "abort"
+DEPART = "depart"
+
+
+class TrajectoryTracer:
+    """Accumulates the per-transaction lifecycle log of one run."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, time: float, kind: str, txn_id: int, detail: str = "") -> None:
+        """Append one lifecycle record (called by the transaction system)."""
+        self.events.append((time, kind, txn_id, detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+_active: Optional[TrajectoryTracer] = None
+
+
+def install_tracer(tracer: Optional[TrajectoryTracer]) -> None:
+    """Install ``tracer`` as the process-wide trajectory tracer (None clears)."""
+    global _active
+    _active = tracer
+
+
+def active_tracer() -> Optional[TrajectoryTracer]:
+    """The currently installed tracer, or None when tracing is off."""
+    return _active
+
+
+@contextmanager
+def tracing(tracer: TrajectoryTracer) -> Iterator[TrajectoryTracer]:
+    """Install ``tracer`` for the duration of the block, restoring the old one."""
+    global _active
+    previous = _active
+    _active = tracer
+    try:
+        yield tracer
+    finally:
+        _active = previous

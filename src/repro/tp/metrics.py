@@ -17,7 +17,7 @@ from repro.sim.engine import Simulator
 from repro.sim.stats import ObservationStats, TimeWeightedStats
 
 
-@dataclass
+@dataclass(slots=True)
 class IntervalCounters:
     """Deltas accumulated since the last measurement sample."""
 
@@ -69,21 +69,23 @@ class RunMetrics:
         """A transaction committed with the given submission-to-commit latency."""
         self.commits += 1
         self.response_times.add(response_time)
-        self._interval.commits += 1
-        self._interval.response_time_sum += response_time
-        self._interval.response_time_count += 1
-        self._interval.conflicts += conflicts
+        interval = self._interval
+        interval.commits += 1
+        interval.response_time_sum += response_time
+        interval.response_time_count += 1
+        interval.conflicts += conflicts
         self.conflicts += conflicts
 
     def record_abort(self, reason: AbortReason, conflicts: int = 0) -> None:
         """An execution was abandoned (it may restart afterwards)."""
         self.aborts_by_reason[reason] += 1
-        self._interval.aborts += 1
+        interval = self._interval
+        interval.aborts += 1
         if reason is not AbortReason.DISPLACEMENT:
             self.restarts += 1
-            self._interval.restarts += 1
+            interval.restarts += 1
         self.conflicts += conflicts
-        self._interval.conflicts += conflicts
+        interval.conflicts += conflicts
 
     def record_concurrency(self, level: float) -> None:
         """The number of admitted (in-system) transactions changed."""

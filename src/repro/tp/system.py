@@ -34,6 +34,7 @@ from repro.core.controller import LoadController
 from repro.core.displacement import DisplacementPolicy
 from repro.core.measurement import MeasurementProcess
 from repro.core.outer_loop import MeasurementIntervalTuner
+from repro.sim import trace as sim_trace
 from repro.sim.engine import Interrupt, Process, Simulator
 from repro.sim.random_streams import RandomStreams
 from repro.sim.resources import Resource
@@ -75,6 +76,15 @@ class TransactionSystem:
         self._terminal_processes: List[Process] = []
         self._started = False
         self.measurement: Optional[MeasurementProcess] = None
+        #: trajectory tracer in effect when the system was built (usually None;
+        #: the golden harness installs one via repro.sim.trace.tracing)
+        self._tracer = sim_trace.active_tracer()
+        # lazily bound per-name RNG generators: the think/cpu/restart draws
+        # are per-phase hot-path calls, so the stream-registry lookup is paid
+        # once per run instead of once per draw (draw order is unchanged)
+        self._think_rng = None
+        self._cpu_rng = None
+        self._restart_rng = None
 
     # ------------------------------------------------------------------
     # wiring and execution
@@ -154,12 +164,19 @@ class TransactionSystem:
     def _terminal(self, terminal_id: int) -> Generator:
         """One terminal: think, submit, wait for admission, run, repeat."""
         params = self.params
+        think_mean = params.think_time
         while True:
-            think = self.streams.exponential("think-time", params.think_time)
-            if think > 0:
-                yield self.sim.timeout(think)
+            if think_mean > 0:
+                rng = self._think_rng
+                if rng is None:
+                    rng = self._think_rng = self.streams.stream("think-time")
+                think = float(rng.exponential(think_mean))
+                if think > 0:
+                    yield self.sim.timeout(think)
             txn = self.workload.next_transaction(self.sim.now, terminal_id)
             self.metrics.record_submission()
+            if self._tracer is not None:
+                self._tracer.record(self.sim.now, sim_trace.SUBMIT, txn.txn_id)
             yield from self._submit_and_process(txn)
 
     def _submit_and_process(self, txn: Transaction) -> Generator:
@@ -169,6 +186,8 @@ class TransactionSystem:
             self.metrics.record_admission(self.sim.now - txn.submitted_at)
             self.metrics.record_concurrency(self.gate.current_load)
             self.metrics.record_admission_queue(self.gate.queue_length)
+            if self._tracer is not None:
+                self._tracer.record(self.sim.now, sim_trace.ADMIT, txn.txn_id)
 
             lifecycle = self.sim.process(
                 self._transaction_lifecycle(txn), name=f"txn-{txn.txn_id}"
@@ -178,6 +197,8 @@ class TransactionSystem:
             self._active.pop(txn.txn_id, None)
             self.gate.depart(txn)
             self.metrics.record_concurrency(self.gate.current_load)
+            if self._tracer is not None:
+                self._tracer.record(self.sim.now, sim_trace.DEPART, txn.txn_id, outcome)
 
             if outcome == COMMITTED:
                 return
@@ -190,18 +211,35 @@ class TransactionSystem:
     def _transaction_lifecycle(self, txn: Transaction) -> Generator:
         """Run one admitted transaction to commit, restarting as needed."""
         params = self.params
+        sim = self.sim
+        cpus = self.cpus
+        cc_access = self.cc.access
+        cpu_access = params.cpu_per_access
+        disk_access = params.disk_per_access
         while True:
-            txn.start_execution(self.sim.now)
+            txn.start_execution(sim.now)
             self.cc.begin(txn)
             try:
                 # initialization phase
-                yield from self._phase(params.cpu_init, params.disk_per_access)
-                # k access phases with gradually increasing data set size
-                for item, is_write in txn.accesses:
-                    grant = self.cc.access(txn, item, is_write)
+                yield from self._phase(params.cpu_init, disk_access)
+                # k access phases with gradually increasing data set size;
+                # the phase body is inlined (see _phase) -- this loop runs
+                # k times per execution and dominates the transaction path
+                for item, is_write in zip(txn.items, txn.write_flags):
+                    grant = cc_access(txn, item, is_write)
                     if grant is not None:
                         yield grant
-                    yield from self._phase(params.cpu_per_access, params.disk_per_access)
+                    if cpu_access > 0:
+                        request = cpus.request()
+                        try:
+                            yield request
+                            demand = self._cpu_demand(cpu_access)
+                            if demand > 0:
+                                yield sim.timeout(demand)
+                        finally:
+                            request.cancel()
+                    if disk_access > 0:
+                        yield sim.timeout(disk_access)
                 # commit processing phase
                 yield from self._phase(params.cpu_commit, params.disk_commit)
 
@@ -211,11 +249,16 @@ class TransactionSystem:
                     self.metrics.record_commit(
                         txn.committed_at - txn.submitted_at, txn.last_conflicts
                     )
+                    if self._tracer is not None:
+                        self._tracer.record(self.sim.now, sim_trace.COMMIT, txn.txn_id)
                     return COMMITTED
 
                 # certification failed: abort this execution and restart
                 self.cc.abort(txn, AbortReason.CERTIFICATION)
                 self.metrics.record_abort(AbortReason.CERTIFICATION, txn.last_conflicts)
+                if self._tracer is not None:
+                    self._tracer.record(self.sim.now, sim_trace.ABORT, txn.txn_id,
+                                        AbortReason.CERTIFICATION.name)
                 txn.record_restart()
                 yield from self._restart_delay()
 
@@ -223,6 +266,9 @@ class TransactionSystem:
                 # blocking CC made this transaction a deadlock victim
                 self.cc.abort(txn, aborted.reason)
                 self.metrics.record_abort(aborted.reason)
+                if self._tracer is not None:
+                    self._tracer.record(self.sim.now, sim_trace.ABORT, txn.txn_id,
+                                        aborted.reason.name)
                 txn.record_restart()
                 yield from self._restart_delay()
 
@@ -234,6 +280,9 @@ class TransactionSystem:
                     reason = cause.reason
                 self.cc.abort(txn, reason)
                 self.metrics.record_abort(reason)
+                if self._tracer is not None:
+                    self._tracer.record(self.sim.now, sim_trace.ABORT, txn.txn_id,
+                                        reason.name)
                 txn.record_restart()
                 return DISPLACED
 
@@ -253,13 +302,19 @@ class TransactionSystem:
 
     def _cpu_demand(self, mean: float) -> float:
         if self.params.stochastic_cpu:
-            return self.streams.exponential("cpu-demand", mean)
+            rng = self._cpu_rng
+            if rng is None:
+                rng = self._cpu_rng = self.streams.stream("cpu-demand")
+            return float(rng.exponential(mean))
         return mean
 
     def _restart_delay(self) -> Generator:
         delay_mean = self.params.restart_delay
         if delay_mean > 0:
-            yield self.sim.timeout(self.streams.exponential("restart-delay", delay_mean))
+            rng = self._restart_rng
+            if rng is None:
+                rng = self._restart_rng = self.streams.stream("restart-delay")
+            yield self.sim.timeout(float(rng.exponential(delay_mean)))
 
     # ------------------------------------------------------------------
     # reporting helpers

@@ -145,6 +145,10 @@ class Workload:
         self._query_fraction = query_fraction_schedule or ConstantSchedule(base.query_fraction)
         self._write_fraction = write_fraction_schedule or ConstantSchedule(base.write_fraction)
         self._next_txn_id = 0
+        # (k, query_fraction, write_fraction) -> WorkloadParams of the last
+        # call; params_at is invoked per submission and the values are
+        # piecewise constant, so the frozen result is almost always reusable
+        self._params_cache: Optional[Tuple[Tuple[float, float, float], WorkloadParams]] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -183,11 +187,17 @@ class Workload:
         k = max(1, min(k, self.base.db_size))
         query_fraction = min(1.0, max(0.0, self._query_fraction.value(time)))
         write_fraction = min(1.0, max(0.0, self._write_fraction.value(time)))
-        return self.base.with_changes(
+        key = (k, query_fraction, write_fraction)
+        cached = self._params_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        params = self.base.with_changes(
             accesses_per_txn=k,
             query_fraction=query_fraction,
             write_fraction=write_fraction,
         )
+        self._params_cache = (key, params)
+        return params
 
     # ------------------------------------------------------------------
     # transaction sampling
@@ -197,21 +207,22 @@ class Workload:
         params = self.params_at(time)
         is_query = self.streams.bernoulli("txn-class", params.query_fraction)
         k = params.accesses_per_txn
-        items = tuple(int(i) for i in self.database.sample_access_set(k))
+        items = tuple(self.database.sample_access_set(k).tolist())
         if is_query:
             txn_class = TransactionClass.QUERY
-            write_flags = tuple(False for _ in items)
+            write_flags = (False,) * k
         else:
             txn_class = TransactionClass.UPDATER
             rng = self.streams.stream("write-marks")
-            write_flags = tuple(bool(rng.random() < params.write_fraction) for _ in items)
-            if not any(write_flags) and params.write_fraction > 0.0:
+            write_fraction = params.write_fraction
+            # one vectorised draw of k uniforms consumes the stream exactly
+            # like k scalar draws (pinned by the golden-trajectory harness)
+            flags = rng.random(k) < write_fraction
+            if not flags.any() and write_fraction > 0.0:
                 # an updater always performs at least one write, otherwise it
                 # would silently degrade into a query and dilute the class mix
-                index = int(rng.integers(0, len(items)))
-                write_flags = tuple(
-                    flag or (position == index) for position, flag in enumerate(write_flags)
-                )
+                flags[int(rng.integers(0, k))] = True
+            write_flags = tuple(flags.tolist())
         txn = Transaction(
             txn_id=self._next_txn_id,
             terminal_id=terminal_id,

@@ -1,0 +1,115 @@
+"""Golden-trajectory regression tests for the simulation core.
+
+The fixtures under ``tests/golden/`` pin the exact behavior of the
+discrete-event engine through all five registry scenarios at smoke scale:
+per-transaction lifecycle event logs (via a digest over their canonical
+serialisation, plus a verbatim head) and the runner's summary metrics.
+They were generated with ``tools/regen_goldens.py`` *before* the hot-path
+rewrite of the engine and act as the bit-for-bit contract the optimised
+engine must honour.
+
+Two assertions per scenario:
+
+* **serial** — re-capturing the scenario in-process reproduces the golden
+  file bitwise (canonical JSON string equality, covering every event
+  timestamp and every metric);
+* **workers=2** — running the same sweep through the multiprocessing
+  executor reproduces the golden metrics of every cell bitwise (the
+  tracer is process-local, so the parallel path is checked through the
+  deterministic summary metrics).
+
+A failure here means a change altered simulated trajectories.  Never
+"fix" it by regenerating the goldens unless the semantic change is
+intentional and documented; see ``tools/regen_goldens.py``.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.runner.api import run_sweep
+from repro.runner.registry import build_sweep
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+_TOOL_PATH = GOLDEN_DIR.parent.parent / "tools" / "regen_goldens.py"
+
+# single source of truth for capture + canonicalisation: the regen tool
+_spec = importlib.util.spec_from_file_location("regen_goldens", _TOOL_PATH)
+regen_goldens = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("regen_goldens", regen_goldens)
+_spec.loader.exec_module(regen_goldens)
+
+SCENARIOS = regen_goldens.GOLDEN_SCENARIOS
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_golden_file_exists_and_is_canonical(name):
+    """The checked-in fixture itself must be in canonical form."""
+    text = _golden_path(name).read_text(encoding="utf-8")
+    payload = json.loads(text)
+    assert payload["scenario"] == name
+    assert payload["scale"] == "smoke"
+    assert payload["format"] == regen_goldens.GOLDEN_FORMAT
+    assert regen_goldens.canonical_json(payload) + "\n" == text
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_serial_trajectories_bitwise_identical(name):
+    """Serial re-capture reproduces event logs and metrics bit for bit."""
+    golden_text = _golden_path(name).read_text(encoding="utf-8")
+    fresh = regen_goldens.capture_scenario(name)
+    fresh_text = regen_goldens.canonical_json(fresh) + "\n"
+    if fresh_text != golden_text:
+        golden = json.loads(golden_text)
+        _explain_mismatch(golden, fresh)
+    assert fresh_text == golden_text
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_workers2_metrics_bitwise_identical(name):
+    """The multiprocessing executor reproduces every cell's metrics exactly."""
+    golden = json.loads(_golden_path(name).read_text(encoding="utf-8"))
+    spec = build_sweep(name, scale=ExperimentScale.smoke())
+    result = run_sweep(spec, workers=2)
+    assert len(result.results) == len(golden["cells"])
+    for golden_cell, cell in zip(golden["cells"], result.results):
+        assert cell.cell_id == golden_cell["cell_id"]
+        assert (regen_goldens.canonical_json(dict(cell.metrics))
+                == regen_goldens.canonical_json(golden_cell["metrics"]))
+
+
+def _explain_mismatch(golden: dict, fresh: dict) -> None:
+    """Fail with the first diverging cell/event instead of a wall of JSON."""
+    for golden_cell, fresh_cell in zip(golden["cells"], fresh["cells"]):
+        cell_id = golden_cell["cell_id"]
+        assert fresh_cell["cell_id"] == cell_id, (
+            f"cell order changed: expected {cell_id!r}, got {fresh_cell['cell_id']!r}"
+        )
+        golden_head = golden_cell["events_head"]
+        fresh_head = regen_goldens.sanitize(fresh_cell["events_head"])
+        for index, (expected, actual) in enumerate(zip(golden_head, fresh_head)):
+            assert actual == expected, (
+                f"{cell_id}: first diverging trajectory event at index {index}: "
+                f"expected {expected}, got {actual}"
+            )
+        assert fresh_cell["n_events"] == golden_cell["n_events"], (
+            f"{cell_id}: event count changed "
+            f"({golden_cell['n_events']} -> {fresh_cell['n_events']})"
+        )
+        assert fresh_cell["events_digest"] == golden_cell["events_digest"], (
+            f"{cell_id}: trajectory diverged after the stored head "
+            f"(first {len(golden_head)} events identical, digest differs)"
+        )
+        golden_metrics = regen_goldens.canonical_json(golden_cell["metrics"])
+        fresh_metrics = regen_goldens.canonical_json(fresh_cell["metrics"])
+        assert fresh_metrics == golden_metrics, (
+            f"{cell_id}: metrics changed: expected {golden_metrics}, got {fresh_metrics}"
+        )

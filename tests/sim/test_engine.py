@@ -369,6 +369,74 @@ class TestConditions:
         assert done == [0.0]
 
 
+class TestTieBreakContract:
+    """The documented equal-timestamp ordering contract.
+
+    Heap entries are ``(time, sequence, event)`` with a monotonic sequence
+    counter assigned at scheduling time: events scheduled at the same
+    simulation time process strictly in schedule order.  This is an explicit
+    contract (not an accident of list insertion order) and the golden
+    trajectories depend on it.
+    """
+
+    def test_two_events_at_same_time_process_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        first = sim.event()
+        second = sim.event()
+        # triggered (= scheduled) in this order, both at t=0
+        first.succeed("first")
+        second.succeed("second")
+        first.add_callback(lambda e: order.append(e.value))
+        second.add_callback(lambda e: order.append(e.value))
+        sim.run(until=0.0)
+        assert order == ["first", "second"]
+
+    def test_mixed_event_kinds_share_one_sequence(self):
+        """Timeouts, plain events and process wakeups obey one global order."""
+        sim = Simulator()
+        order = []
+
+        def proc():
+            order.append("process-bootstrap")
+            yield sim.timeout(1.0)
+            order.append("process-timeout")
+
+        timeout_a = sim.timeout(1.0)          # scheduled 1st for t=1
+        sim.process(proc())                   # bootstrap scheduled 2nd for t=0
+        event = sim.event().succeed(None)     # scheduled 3rd for t=0
+        timeout_b = sim.timeout(1.0)          # scheduled 4th for t=1
+        timeout_a.add_callback(lambda _e: order.append("timeout-a"))
+        event.add_callback(lambda _e: order.append("plain-event"))
+        timeout_b.add_callback(lambda _e: order.append("timeout-b"))
+        sim.run(until=2.0)
+        # t=0: bootstrap precedes the plain event (scheduled earlier).
+        # t=1: timeout-a first, then timeout-b, then the process's nap --
+        # the nap was only scheduled when the bootstrap ran at t=0, which is
+        # after both timeouts had already been created.
+        assert order == ["process-bootstrap", "plain-event",
+                         "timeout-a", "timeout-b", "process-timeout"]
+
+    def test_sequence_counter_is_monotonic(self):
+        sim = Simulator()
+        before = sim._sequence
+        sim.timeout(0.5)
+        sim.timeout(0.5)
+        sim.event().succeed()
+        assert sim._sequence == before + 3
+
+    def test_schedule_order_preserved_across_heap_reshuffles(self):
+        """Many equal timestamps interleaved with earlier/later events."""
+        sim = Simulator()
+        fired = []
+        # build a deliberately adversarial creation order for the heap
+        for index, delay in enumerate([5.0, 1.0, 5.0, 3.0, 5.0, 1.0, 5.0]):
+            sim.call_in(delay, lambda i=index, d=delay: fired.append((d, i)))
+        sim.run(until=10.0)
+        assert fired == [(1.0, 1), (1.0, 5), (3.0, 3),
+                         (5.0, 0), (5.0, 2), (5.0, 4), (5.0, 6)]
+
+
 class TestDeterminism:
     def test_identical_runs_produce_identical_traces(self):
         def build_and_run():

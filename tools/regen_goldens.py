@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Regenerate the golden trajectory fixtures under ``tests/golden/``.
+
+One JSON file per registry scenario (thrashing, fig12_stationary,
+fig13_is_jump, fig14_pa_jump, sinusoid), each produced by running every
+cell of the scenario's smoke-scale sweep serially with the trajectory
+tracer installed.  A golden file pins, per cell:
+
+* the summary ``metrics`` dict exactly as the runner reports it,
+* the length and a blake2b digest of the canonical serialisation of the
+  full per-transaction lifecycle event log
+  ``[time, kind, txn_id, detail]`` (submit/admit/commit/abort/depart), and
+* the first ``EVENTS_HEAD`` log entries verbatim, so a digest mismatch can
+  be narrowed down to the first diverging event by a human (or by
+  regenerating into a scratch directory and diffing).
+
+``tests/golden/test_golden_trajectories.py`` asserts that re-running the
+cells reproduces these files *bitwise* (canonical JSON string equality).
+JSON serialises floats with ``repr``, which round-trips IEEE-754 doubles
+exactly, so string equality of the canonical form — and digest equality
+over it — is bit-for-bit equality of every timestamp and metric.  The
+digest covers the *entire* event log (tens of thousands of events per
+tracking cell); only the stored head is truncated, to keep the checked-in
+fixtures small.
+
+The goldens define the behavioral contract of the simulation core.  They
+were generated once, BEFORE the hot-path rewrite of the discrete-event
+engine, and must never be regenerated to make a failing optimisation pass:
+a mismatch means the optimisation changed trajectories and must be fixed.
+Legitimate regeneration (an intentional semantic change to the model) is::
+
+    PYTHONPATH=src python tools/regen_goldens.py
+
+and must be called out explicitly in the change description.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.config import ExperimentScale  # noqa: E402
+from repro.runner.cells import execute_run_spec  # noqa: E402
+from repro.runner.registry import available_scenarios, build_sweep  # noqa: E402
+from repro.sim.trace import TrajectoryTracer, tracing  # noqa: E402
+
+#: the five scenarios pinned by the golden harness (== the full registry)
+GOLDEN_SCENARIOS = ("thrashing", "fig12_stationary", "fig13_is_jump",
+                    "fig14_pa_jump", "sinusoid")
+
+#: bump when the golden file structure (not the trajectories) changes
+GOLDEN_FORMAT = 1
+
+#: trajectory events stored verbatim per cell (the digest covers all of them)
+EVENTS_HEAD = 100
+
+
+def sanitize(payload):
+    """Replace non-finite floats (e.g. an ``inf`` limit) with tagged strings.
+
+    JSON has no Infinity/NaN; the tag keeps the canonical form strictly
+    JSON-compliant while remaining an exact, unambiguous encoding.
+    """
+    if isinstance(payload, float):
+        if payload != payload:  # NaN
+            return "__nan__"
+        if payload == float("inf"):
+            return "__inf__"
+        if payload == float("-inf"):
+            return "__-inf__"
+        return payload
+    if isinstance(payload, dict):
+        return {key: sanitize(value) for key, value in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [sanitize(value) for value in payload]
+    return payload
+
+
+def canonical_json(payload) -> str:
+    """The canonical serialisation compared bitwise by the golden tests."""
+    return json.dumps(sanitize(payload), sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True, allow_nan=False)
+
+
+def events_digest(events) -> str:
+    """Blake2b-256 hex digest of the canonical serialisation of a full log."""
+    canonical = canonical_json([list(event) for event in events])
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=32).hexdigest()
+
+
+def capture_scenario(name: str) -> dict:
+    """Run every cell of ``name`` at smoke scale, tracing trajectories."""
+    spec = build_sweep(name, scale=ExperimentScale.smoke())
+    cells = []
+    for cell in spec.cells:
+        tracer = TrajectoryTracer()
+        with tracing(tracer):
+            result = execute_run_spec(cell)
+        cells.append({
+            "cell_id": result.cell_id,
+            "kind": result.kind,
+            "label": result.label,
+            "replicate": result.replicate,
+            "metrics": dict(result.metrics),
+            "n_events": len(tracer.events),
+            "events_digest": events_digest(tracer.events),
+            "events_head": [list(event) for event in tracer.events[:EVENTS_HEAD]],
+        })
+    return {
+        "format": GOLDEN_FORMAT,
+        "scenario": name,
+        "scale": "smoke",
+        "cells": cells,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "tests" / "golden",
+                        help="output directory (default: tests/golden)")
+    parser.add_argument("scenarios", nargs="*", default=list(GOLDEN_SCENARIOS),
+                        help="scenario subset to regenerate (default: all five)")
+    args = parser.parse_args(argv)
+
+    known = set(available_scenarios())
+    for name in args.scenarios:
+        if name not in known:
+            parser.error(f"unknown scenario {name!r}; available: {sorted(known)}")
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    for name in args.scenarios:
+        payload = capture_scenario(name)
+        path = args.out / f"{name}.json"
+        path.write_text(canonical_json(payload) + "\n", encoding="utf-8")
+        events = sum(cell["n_events"] for cell in payload["cells"])
+        print(f"{path}: {len(payload['cells'])} cells, {events} trajectory events, "
+              f"{path.stat().st_size / 1024:.0f} KiB")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,479 @@
+"""Coordinator side of distributed sweep execution.
+
+:class:`DistributedExecutor` implements the same two-method executor
+interface as :class:`~repro.runner.executor.SerialExecutor` and
+:class:`~repro.runner.executor.ParallelExecutor` — ``map`` streams results
+back in the items' order, ``execute`` collects them — but fans the cells
+out over *networked* workers instead of local processes:
+
+* it binds a TCP address and accepts ``repro-dist-worker`` connections at
+  any time, including mid-sweep (late workers simply start pulling cells);
+* each connected worker pulls one cell at a time (``ready`` -> ``task``),
+  so fast hosts naturally take more cells than slow ones;
+* results are reassembled into the items' submission order, so a sweep's
+  result stream is deterministic regardless of worker count, join order or
+  which worker finished first;
+* a worker that dies or goes silent (no heartbeat within
+  ``heartbeat_timeout``) has its in-flight cell re-queued at the *front*
+  of the work queue — the ordered result stream is usually blocked on
+  exactly that cell — and re-assigned to a surviving worker.  The sweep
+  completes as long as one worker survives.
+
+Determinism contract: a cell's result depends only on its spec, never on
+the worker that ran it, so the reassembled results are bit-identical to a
+:class:`~repro.runner.executor.SerialExecutor` run of the same spec — the
+same guarantee the multiprocessing executor gives, extended across hosts
+and asserted against the golden trajectories in ``tests/dist/``.
+
+A cell that *raises* (as opposed to a worker that *dies*) is not retried:
+the error — a :class:`~repro.runner.errors.CellExecutionError` naming the
+cell — is forwarded to the coordinator and re-raised out of ``map``.
+Retrying a deterministic failure would loop forever; dying workers, by
+contrast, are environmental and their cells are safely re-run.
+
+``main`` is the ``repro-dist-coordinator`` console entry point: it runs a
+named registry scenario over the cluster, prints the replicate-aggregate
+table, and optionally writes a versioned archive artifact
+(:mod:`repro.dist.archive`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Optional, TypeVar
+
+from repro.dist import protocol
+from repro.dist.protocol import (
+    MSG_HEARTBEAT,
+    MSG_HELLO,
+    MSG_READY,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    MSG_TASK_ERROR,
+    ConnectionClosed,
+    ProtocolError,
+)
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+class _WorkerState:
+    """Coordinator-side bookkeeping for one connected worker."""
+
+    __slots__ = ("name", "sock", "send_lock", "in_flight", "cells_done")
+
+    def __init__(self, name: str, sock: socket.socket):
+        self.name = name
+        self.sock = sock
+        #: serialises frames when close() races the serving thread
+        self.send_lock = threading.Lock()
+        #: (generation, item index) while a task is out, else None
+        self.in_flight = None
+        self.cells_done = 0
+
+    def send(self, message) -> None:
+        with self.send_lock:
+            protocol.send_message(self.sock, message)
+
+
+class _SweepState:
+    """One ``map`` call: the work queue and the reassembly buffer."""
+
+    __slots__ = ("generation", "function", "items", "pending", "results",
+                 "error", "last_progress")
+
+    def __init__(self, generation: int, function, items):
+        self.generation = generation
+        self.function = function
+        self.items = items
+        self.pending = collections.deque(range(len(items)))
+        #: item index -> result, drained in order by the consumer
+        self.results = {}
+        self.error: Optional[BaseException] = None
+        self.last_progress = time.monotonic()
+
+
+class DistributedExecutor:
+    """Serve sweep cells to networked workers; reassemble ordered results.
+
+    ``address`` is ``"host:port"``; port 0 binds an ephemeral port (read
+    the actual one back from :attr:`bound_address` — this is how the local
+    cluster helper and the tests wire workers up).  ``heartbeat_timeout``
+    is how long a silent worker is trusted before its in-flight cell is
+    re-queued; ``worker_timeout`` bounds how long a sweep waits with *zero*
+    connected workers before giving up.
+    """
+
+    def __init__(self, address: str = "127.0.0.1:0", *,
+                 heartbeat_timeout: float = 30.0,
+                 worker_timeout: float = 600.0):
+        if heartbeat_timeout <= 0:
+            raise ValueError(f"heartbeat_timeout must be positive, got {heartbeat_timeout}")
+        if worker_timeout <= 0:
+            raise ValueError(f"worker_timeout must be positive, got {worker_timeout}")
+        host, port = protocol.parse_address(address)
+        self._listener = socket.create_server((host, port))
+        self._heartbeat_timeout = float(heartbeat_timeout)
+        self._worker_timeout = float(worker_timeout)
+        #: one lock+condition guards _workers, _sweep, _closed, _generation
+        self._state = threading.Condition()
+        self._workers: set = set()
+        self._closed = False
+        self._generation = 0
+        self._sweep: Optional[_SweepState] = None
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="dist-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    # executor interface
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Number of currently connected workers."""
+        with self._state:
+            return len(self._workers)
+
+    @property
+    def bound_address(self) -> str:
+        """The actual ``host:port`` workers should connect to."""
+        host, port = self._listener.getsockname()[:2]
+        if host in ("0.0.0.0", "::"):
+            host = "127.0.0.1"
+        return protocol.format_address(host, port)
+
+    def map(self, function: Callable[[ItemT], ResultT],
+            items: Iterable[ItemT]) -> Iterator[ResultT]:
+        """Serve ``items`` to the cluster, yielding results in item order."""
+        materialised = list(items)
+
+        def stream() -> Iterator[ResultT]:
+            if not materialised:
+                return
+            with self._state:
+                if self._closed:
+                    raise RuntimeError("the executor is closed")
+                if self._sweep is not None:
+                    raise RuntimeError(
+                        "another sweep is already running on this executor"
+                    )
+                self._generation += 1
+                sweep = _SweepState(self._generation, function, materialised)
+                self._sweep = sweep
+                self._state.notify_all()
+            try:
+                for index in range(len(materialised)):
+                    with self._state:
+                        while sweep.error is None and index not in sweep.results:
+                            self._check_stalled(sweep)
+                            self._state.wait(timeout=0.5)
+                        if sweep.error is not None:
+                            raise sweep.error
+                        value = sweep.results.pop(index)
+                    yield value
+            finally:
+                with self._state:
+                    self._sweep = None
+                    self._state.notify_all()
+
+        return stream()
+
+    def execute(self, function: Callable[[ItemT], ResultT],
+                items: Iterable[ItemT]) -> List[ResultT]:
+        """Apply ``function`` to every item and return the ordered results."""
+        return list(self.map(function, items))
+
+    def wait_for_workers(self, count: int, timeout: float = 60.0) -> int:
+        """Block until ``count`` workers are connected; return the count."""
+        deadline = time.monotonic() + timeout
+        with self._state:
+            while len(self._workers) < count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"only {len(self._workers)} of {count} workers joined "
+                        f"{self.bound_address} within {timeout:.0f}s"
+                    )
+                self._state.wait(timeout=min(remaining, 0.5))
+            return len(self._workers)
+
+    def close(self) -> None:
+        """Stop accepting workers, tell connected ones to shut down."""
+        with self._state:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+            self._state.notify_all()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+        for worker in workers:
+            try:
+                worker.send((MSG_SHUTDOWN,))
+            except OSError:
+                pass
+            try:
+                # wakes a serving thread blocked in recv with a clean EOF
+                worker.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "DistributedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DistributedExecutor(address={self.bound_address!r}, workers={self.workers})"
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_stalled(self, sweep: _SweepState) -> None:
+        # caller holds self._state
+        if self._closed:
+            raise RuntimeError(
+                "the executor was closed with "
+                f"{len(sweep.items) - len(sweep.results)} cells outstanding"
+            )
+        if self._workers:
+            return
+        waited = time.monotonic() - sweep.last_progress
+        if waited > self._worker_timeout:
+            raise RuntimeError(
+                f"sweep stalled: no workers connected for {waited:.0f}s "
+                f"({len(sweep.results)} of {len(sweep.items)} cells buffered); "
+                f"start workers with: repro-dist-worker --connect {self.bound_address}"
+            )
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, address = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._serve_worker, args=(sock,),
+                name=f"dist-serve-{address[0]}:{address[1]}", daemon=True,
+            ).start()
+
+    def _serve_worker(self, sock: socket.socket) -> None:
+        worker = None
+        try:
+            sock.settimeout(self._heartbeat_timeout)
+            hello = protocol.recv_message(sock)
+            if not (isinstance(hello, tuple) and hello and hello[0] == MSG_HELLO):
+                raise ProtocolError(f"expected hello, got {hello!r}")
+            name = str(hello[1]) if len(hello) > 1 else "worker"
+            worker = _WorkerState(name=name, sock=sock)
+            with self._state:
+                if self._closed:
+                    raise ConnectionClosed("executor is closed")
+                self._workers.add(worker)
+                if self._sweep is not None:
+                    self._sweep.last_progress = time.monotonic()
+                self._state.notify_all()
+            self._worker_loop(worker)
+        except (ConnectionClosed, ProtocolError, OSError, EOFError):
+            # a vanished or misbehaving worker is an expected event; its
+            # in-flight cell is re-queued below and the sweep carries on
+            pass
+        finally:
+            with self._state:
+                if worker is not None:
+                    self._workers.discard(worker)
+                    self._requeue_in_flight(worker)
+                self._state.notify_all()
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+
+    def _requeue_in_flight(self, worker: _WorkerState) -> None:
+        # caller holds self._state
+        if worker.in_flight is None:
+            return
+        generation, index = worker.in_flight
+        worker.in_flight = None
+        sweep = self._sweep
+        if (sweep is not None and sweep.generation == generation
+                and index not in sweep.results):
+            # front of the queue: the ordered result stream is most likely
+            # blocked on precisely this orphaned cell
+            sweep.pending.appendleft(index)
+
+    def _next_task(self, worker: _WorkerState):
+        """Block until a cell can be assigned; None means shut down."""
+        with self._state:
+            while True:
+                if self._closed:
+                    return None
+                sweep = self._sweep
+                if sweep is not None and sweep.error is None and sweep.pending:
+                    index = sweep.pending.popleft()
+                    worker.in_flight = (sweep.generation, index)
+                    return (sweep.generation, index, sweep.function,
+                            sweep.items[index])
+                self._state.wait()
+
+    def _worker_loop(self, worker: _WorkerState) -> None:
+        sock = worker.sock
+        while True:
+            # the worker announces readiness promptly after hello/result,
+            # so the heartbeat timeout applies here too
+            sock.settimeout(self._heartbeat_timeout)
+            message = protocol.recv_message(sock)
+            kind = message[0]
+            if kind == MSG_HEARTBEAT:
+                continue
+            if kind != MSG_READY:
+                raise ProtocolError(f"expected ready, got {kind!r}")
+            task = self._next_task(worker)
+            if task is None:
+                worker.send((MSG_SHUTDOWN,))
+                raise ConnectionClosed("executor closed")
+            generation, index, function, item = task
+            worker.send((MSG_TASK, generation, index, function, item))
+            # await the result; heartbeats keep the connection trusted
+            # while the (possibly minutes-long) cell executes remotely
+            while True:
+                sock.settimeout(self._heartbeat_timeout)
+                message = protocol.recv_message(sock)
+                kind = message[0]
+                if kind == MSG_HEARTBEAT:
+                    continue
+                if kind == MSG_RESULT:
+                    _, generation, index, payload = message
+                    with self._state:
+                        worker.in_flight = None
+                        worker.cells_done += 1
+                        sweep = self._sweep
+                        if sweep is not None and sweep.generation == generation:
+                            sweep.results[index] = payload
+                            sweep.last_progress = time.monotonic()
+                        # a stale generation means the sweep this cell
+                        # belonged to is gone; drop the payload silently
+                        self._state.notify_all()
+                    break
+                if kind == MSG_TASK_ERROR:
+                    _, generation, index, error = message
+                    if not isinstance(error, BaseException):
+                        error = RuntimeError(str(error))
+                    with self._state:
+                        worker.in_flight = None
+                        sweep = self._sweep
+                        if (sweep is not None and sweep.generation == generation
+                                and sweep.error is None):
+                            sweep.error = error
+                        self._state.notify_all()
+                    break
+                raise ProtocolError(
+                    f"unexpected message while awaiting a result: {kind!r}"
+                )
+
+
+# ----------------------------------------------------------------------
+# console entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    """``repro-dist-coordinator``: run a registry scenario over a cluster."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dist-coordinator",
+        description=(
+            "Serve a named experiment sweep to repro-dist-worker processes "
+            "and print the replicate-aggregate (mean ± CI) table."
+        ),
+    )
+    parser.add_argument("scenario", help="registry scenario name (e.g. fig12_stationary)")
+    parser.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+                        help="address to listen on (default: 127.0.0.1:0, ephemeral port)")
+    parser.add_argument("--scale", default="benchmark",
+                        choices=("smoke", "benchmark", "paper"),
+                        help="experiment scale preset (default: benchmark)")
+    parser.add_argument("--replicates", type=int, default=1,
+                        help="independent replicates per cell (default: 1)")
+    parser.add_argument("--min-workers", type=int, default=1,
+                        help="wait for this many workers before starting (default: 1)")
+    parser.add_argument("--worker-wait", type=float, default=300.0, metavar="SECONDS",
+                        help="how long to wait for workers (default: 300)")
+    parser.add_argument("--heartbeat-timeout", type=float, default=30.0, metavar="SECONDS",
+                        help="declare a silent worker dead after this long (default: 30)")
+    parser.add_argument("--local-workers", type=int, default=0, metavar="N",
+                        help="also spawn N worker subprocesses on this host")
+    parser.add_argument("--archive", type=Path, default=None, metavar="DIR",
+                        help="write a versioned JSON archive artifact into DIR")
+    parser.add_argument("--confidence", type=float, default=0.95,
+                        help="confidence level of the CI aggregation (default: 0.95)")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.config import ExperimentScale
+    from repro.experiments.report import format_aggregate_table
+    from repro.runner.api import run_sweep
+
+    scale = {
+        "smoke": ExperimentScale.smoke,
+        "benchmark": ExperimentScale.benchmark,
+        "paper": ExperimentScale.paper,
+    }[args.scale]()
+
+    executor = DistributedExecutor(
+        args.bind,
+        heartbeat_timeout=args.heartbeat_timeout,
+        worker_timeout=args.worker_wait,
+    )
+    print(f"coordinator listening on {executor.bound_address}")
+    local_processes = []
+    try:
+        if args.local_workers:
+            from repro.dist.cluster import spawn_local_workers
+
+            local_processes = spawn_local_workers(
+                executor.bound_address, args.local_workers
+            )
+        executor.wait_for_workers(max(args.min_workers, 1),
+                                  timeout=args.worker_wait)
+        print(f"{executor.workers} worker(s) connected; running "
+              f"{args.scenario!r} at {args.scale} scale, "
+              f"replicates={args.replicates}")
+        started = time.monotonic()
+        result = run_sweep(args.scenario, scale=scale,
+                           replicates=args.replicates, executor=executor,
+                           confidence=args.confidence)
+        elapsed = time.monotonic() - started
+        cells = len(result.results)
+        print(f"{cells} cells in {elapsed:.1f}s "
+              f"({cells / elapsed:.2f} cells/s)" if elapsed > 0 else
+              f"{cells} cells")
+        print(format_aggregate_table(result.aggregates))
+        if args.archive is not None:
+            from repro.dist.archive import build_archive, write_archive
+
+            archive = build_archive(result, scenario=args.scenario,
+                                    scale_name=args.scale,
+                                    confidence=args.confidence)
+            path = write_archive(archive, args.archive)
+            print(f"archive written to {path}")
+    finally:
+        executor.close()
+        for process in local_processes:
+            try:
+                process.wait(timeout=15)
+            except Exception:
+                process.kill()
+                process.wait()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI CLI smoke
+    raise SystemExit(main())

@@ -1,0 +1,119 @@
+"""Length-prefixed pickle framing for the coordinator/worker wire protocol.
+
+One message is one pickled Python object, framed as an 8-byte big-endian
+unsigned length prefix followed by exactly that many pickle bytes.  The
+frame boundary is what makes the protocol trivially robust over TCP's byte
+stream: :func:`recv_message` reads the prefix, then the payload, and never
+has to guess where a pickle ends.  EOF in the middle of (or between)
+frames raises :class:`ConnectionClosed`; a frame that does not decode, or
+whose declared length exceeds :data:`MAX_MESSAGE_BYTES`, raises
+:class:`ProtocolError` — a corrupted or hostile prefix must not make the
+receiver allocate gigabytes.
+
+Messages themselves are plain tuples whose first element is one of the
+``MSG_*`` kind constants below; the comments give each message's shape.
+Everything crossing the wire — :class:`~repro.runner.specs.RunSpec` cells,
+:class:`~repro.runner.cells.CellResult` payloads, exceptions — is already
+picklable by the runner's design (PR 1), so the framing layer needs no
+schema of its own.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Tuple
+
+#: 8-byte big-endian unsigned frame-length prefix
+HEADER = struct.Struct(">Q")
+
+#: refuse to (de)serialise frames beyond this size (1 GiB)
+MAX_MESSAGE_BYTES = 1 << 30
+
+#: largest single ``recv`` when draining a frame body
+_RECV_CHUNK = 1 << 20
+
+# worker -> coordinator
+MSG_HELLO = "hello"            # (MSG_HELLO, worker_name)
+MSG_READY = "ready"            # (MSG_READY,)
+MSG_HEARTBEAT = "heartbeat"    # (MSG_HEARTBEAT,)
+MSG_RESULT = "result"          # (MSG_RESULT, generation, index, payload)
+MSG_TASK_ERROR = "task-error"  # (MSG_TASK_ERROR, generation, index, error)
+
+# coordinator -> worker
+MSG_TASK = "task"              # (MSG_TASK, generation, index, function, item)
+MSG_SHUTDOWN = "shutdown"      # (MSG_SHUTDOWN,)
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that do not frame a valid message."""
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the connection (EOF inside or between frames)."""
+
+
+def send_message(sock: socket.socket, message) -> None:
+    """Frame and send one message (blocking until fully written)."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte frame limit"
+        )
+    # one sendall for prefix+payload: the frame hits the stream atomically
+    # with respect to this socket's other senders (callers lock per socket)
+    sock.sendall(HEADER.pack(len(payload)) + payload)
+
+
+def recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`ConnectionClosed`."""
+    if count == 0:
+        return b""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, _RECV_CHUNK))
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed the connection with {remaining} of {count} "
+                "bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return chunks[0] if len(chunks) == 1 else b"".join(chunks)
+
+
+def recv_message(sock: socket.socket):
+    """Receive one framed message (blocking until a whole frame arrived)."""
+    (length,) = HEADER.unpack(recv_exact(sock, HEADER.size))
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"frame announces {length} bytes, beyond the "
+            f"{MAX_MESSAGE_BYTES}-byte limit"
+        )
+    payload = recv_exact(sock, length)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``"host:port"``; an empty host means every interface."""
+    host, separator, port_text = address.rpartition(":")
+    if not separator:
+        raise ValueError(f"address must be 'host:port', got {address!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"port must be an integer, got {port_text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port must be in [0, 65535], got {port}")
+    return host or "0.0.0.0", port
+
+
+def format_address(host: str, port: int) -> str:
+    """The inverse of :func:`parse_address`."""
+    return f"{host}:{port}"

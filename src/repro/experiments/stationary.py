@@ -21,7 +21,7 @@ confidence interval — without changing the single-replicate results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.controller import LoadController
 from repro.core.measurement import MeasurementProcess
@@ -29,6 +29,7 @@ from repro.experiments.config import ExperimentScale, default_system_params
 from repro.sim.random_streams import RandomStreams
 from repro.tp.params import SystemParams
 from repro.tp.system import TransactionSystem
+from repro.tp.workload import MixedClassWorkload, TransactionClassSpec
 
 #: a factory producing a fresh controller for each run (controllers keep state)
 ControllerFactory = Callable[[SystemParams], LoadController]
@@ -95,7 +96,9 @@ def run_stationary_point(params: SystemParams,
                          horizon: float = 30.0,
                          warmup: float = 5.0,
                          measurement_interval: float = 2.0,
-                         streams: Optional[RandomStreams] = None) -> StationaryPoint:
+                         streams: Optional[RandomStreams] = None,
+                         workload_classes: Optional[Sequence[TransactionClassSpec]] = None
+                         ) -> StationaryPoint:
     """Run one stationary simulation and summarise it.
 
     With ``controller_factory=None`` the system runs uncontrolled (every
@@ -103,12 +106,19 @@ def run_stationary_point(params: SystemParams,
     attached with the given measurement interval.  ``streams`` overrides the
     run's random streams (the runner passes a replicate-derived family here;
     by default the streams are seeded from ``params.seed``).
+    ``workload_classes`` switches the run onto a
+    :class:`~repro.tp.workload.MixedClassWorkload` with the given class mix
+    instead of the single-class workload of ``params.workload``.
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be positive, got {horizon}")
     if warmup < 0:
         raise ValueError(f"warmup must be non-negative, got {warmup}")
-    system = TransactionSystem(params, streams=streams)
+    streams = streams or RandomStreams(params.seed)
+    workload = None
+    if workload_classes is not None:
+        workload = MixedClassWorkload(params.workload, streams, workload_classes)
+    system = TransactionSystem(params, streams=streams, workload=workload)
     measurement: Optional[MeasurementProcess] = None
     if controller_factory is not None:
         controller = controller_factory(params)
@@ -141,12 +151,14 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
                           controller: Optional[object] = None,
                           scale: Optional[ExperimentScale] = None,
                           label: Optional[str] = None,
-                          name: str = "stationary"):
+                          name: str = "stationary",
+                          workload_classes: Optional[Sequence[TransactionClassSpec]] = None):
     """Build the runner :class:`~repro.runner.specs.SweepSpec` of one curve.
 
     ``controller`` may be ``None`` (uncontrolled), a
     :class:`~repro.runner.specs.ControllerSpec`, or a picklable factory
-    ``params -> LoadController``.
+    ``params -> LoadController``.  ``workload_classes`` puts every cell on
+    a mixed-class workload (see :func:`run_stationary_point`).
     """
     from repro.runner.specs import KIND_STATIONARY, RunSpec, SweepSpec
 
@@ -154,6 +166,7 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
     base_params = base_params or default_system_params()
     if label is None:
         label = "without control" if controller is None else "with control"
+    classes = tuple(workload_classes) if workload_classes is not None else None
     cells = tuple(
         RunSpec(
             kind=KIND_STATIONARY,
@@ -162,6 +175,7 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
             scale=scale,
             controller=controller,
             label=label,
+            workload_classes=classes,
         )
         for offered_load in scale.offered_loads
     )

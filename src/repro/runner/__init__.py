@@ -27,6 +27,12 @@ from repro.runner.api import (
     tracking_results,
 )
 from repro.runner.cells import CellResult, execute_run_spec, replicate_streams
+from repro.runner.errors import (
+    CellErrorContext,
+    CellExecutionError,
+    describe_item,
+    run_with_cell_context,
+)
 from repro.runner.executor import ParallelExecutor, SerialExecutor, make_executor
 from repro.runner.registry import (
     ScenarioDefinition,
@@ -60,6 +66,10 @@ __all__ = [
     "CellResult",
     "execute_run_spec",
     "replicate_streams",
+    "CellErrorContext",
+    "CellExecutionError",
+    "describe_item",
+    "run_with_cell_context",
     "SerialExecutor",
     "ParallelExecutor",
     "make_executor",

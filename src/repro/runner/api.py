@@ -70,15 +70,21 @@ def run_sweep(sweep: Union[str, SweepSpec], *,
               scale: Optional[ExperimentScale] = None,
               base_params: Optional[SystemParams] = None,
               executor=None,
+              address: Optional[str] = None,
               confidence: float = 0.95,
               **scenario_overrides) -> SweepResult:
     """Run a sweep (by name or spec) and aggregate its replicates.
 
     ``workers`` selects the executor: 0/1 run serially in-process, ``N>1``
-    fan out over ``N`` processes, ``None`` uses every CPU.  Results are
-    identical between all settings.  ``scale``, ``base_params`` and extra
-    keyword arguments are forwarded to the scenario builder and are only
-    valid when ``sweep`` is a scenario name.
+    fan out over ``N`` processes, ``None`` uses every CPU.
+    ``address="host:port"`` serves the cells to networked
+    ``repro-dist-worker`` processes instead (the executor is owned, and
+    closed, by this call; pass a ready ``executor`` — e.g. a
+    :class:`~repro.dist.cluster.LocalCluster` — to manage its lifetime
+    yourself).  Results are bit-identical between all settings.
+    ``scale``, ``base_params`` and extra keyword arguments are forwarded
+    to the scenario builder and are only valid when ``sweep`` is a
+    scenario name.
     """
     if isinstance(sweep, str):
         spec = build_sweep(sweep, scale=scale, base_params=base_params,
@@ -91,9 +97,16 @@ def run_sweep(sweep: Union[str, SweepSpec], *,
             )
         spec = sweep
     expanded = spec.with_replicates(replicates)
+    owned_executor = None
     if executor is None:
-        executor = make_executor(workers)
-    results = executor.execute(execute_run_spec, expanded.cells)
+        executor = owned_executor = make_executor(workers, address=address)
+    elif address is not None:
+        raise TypeError("pass either executor= or address=, not both")
+    try:
+        results = executor.execute(execute_run_spec, expanded.cells)
+    finally:
+        if owned_executor is not None and hasattr(owned_executor, "close"):
+            owned_executor.close()
     aggregates = aggregate_cells(results, confidence=confidence)
     return SweepResult(spec=expanded, results=results, aggregates=aggregates)
 

@@ -79,6 +79,7 @@ def _execute_stationary(spec: RunSpec) -> CellResult:
         warmup=spec.scale.warmup,
         measurement_interval=spec.scale.measurement_interval,
         streams=replicate_streams(spec.params.seed, spec.replicate),
+        workload_classes=spec.workload_classes,
     )
     metrics = {
         "throughput": point.throughput,

@@ -1,0 +1,93 @@
+"""Cell-identity error context shared by every fan-out executor.
+
+A worker crash deep inside a multi-hour sweep used to surface as a bare
+``multiprocessing.pool`` traceback with no indication of *which* cell died.
+The parallel and the distributed executor therefore run every cell through
+:func:`run_with_cell_context`, which re-raises any failure as a
+:class:`CellExecutionError` naming the failing cell's full identity
+(cell id, kind, label, offered load, seed, replicate) — enough to re-run
+exactly that cell serially with
+:func:`~repro.runner.cells.execute_run_spec` under a debugger.
+
+The error is deliberately flat (a message string plus the cell id): it must
+survive pickling across process and network boundaries, where exception
+causes and traceback objects do not.  The serial executor is left
+unwrapped on purpose — there the original exception unwinds directly into
+the caller's stack and is already debuggable.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+
+class CellExecutionError(RuntimeError):
+    """A cell of a sweep failed; the message names the cell's identity."""
+
+    def __init__(self, message: str, cell_id: str = ""):
+        super().__init__(message)
+        self.cell_id = cell_id
+
+    def __reduce__(self):
+        # exceptions pickle through their constructor args; carry cell_id
+        # explicitly so it survives process and network hops
+        return (type(self), (self.args[0] if self.args else "", self.cell_id))
+
+
+def describe_item(item) -> str:
+    """A human-readable identity of one executor work item.
+
+    :class:`~repro.runner.specs.RunSpec`-shaped items (anything with a
+    ``cell_id``) are described by their cell coordinates; other items fall
+    back to a truncated ``repr``.
+    """
+    cell_id = getattr(item, "cell_id", None)
+    if cell_id is None:
+        text = repr(item)
+        return text if len(text) <= 200 else text[:197] + "..."
+    details = []
+    kind = getattr(item, "kind", "")
+    if kind:
+        details.append(f"kind={kind}")
+    label = getattr(item, "label", "")
+    if label:
+        details.append(f"label={label!r}")
+    params = getattr(item, "params", None)
+    if params is not None:
+        details.append(f"N={getattr(params, 'n_terminals', '?')}")
+        details.append(f"seed={getattr(params, 'seed', '?')}")
+    details.append(f"replicate={getattr(item, 'replicate', 0)}")
+    return f"cell {cell_id!r} ({', '.join(details)})"
+
+
+def run_with_cell_context(function, item):
+    """Run ``function(item)``, re-raising failures with the cell identity."""
+    try:
+        return function(item)
+    except CellExecutionError:
+        raise
+    except Exception as exc:
+        detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        raise CellExecutionError(
+            f"{describe_item(item)} failed: {detail}",
+            cell_id=str(getattr(item, "cell_id", "")),
+        ) from exc
+
+
+class CellErrorContext:
+    """Picklable callable adapter applying :func:`run_with_cell_context`.
+
+    The parallel executor maps this over its pool instead of the bare cell
+    function; the distributed worker calls :func:`run_with_cell_context`
+    directly.  Both therefore report failures through the same
+    :class:`CellExecutionError` path.
+    """
+
+    def __init__(self, function):
+        self.function = function
+
+    def __call__(self, item):
+        return run_with_cell_context(self.function, item)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CellErrorContext({self.function!r})"

@@ -12,11 +12,13 @@ way the experiment entry points expose it:
 * ``workers=0`` or ``1`` — run in-process (no pickling requirements, exact
   same code path the tests exercise);
 * ``workers=N>1`` — fan out over ``N`` ``multiprocessing`` workers;
-* ``workers=None`` — one worker per available CPU.
+* ``workers=None`` — one worker per available CPU;
+* ``address="host:port"`` — serve the cells to networked workers through
+  the :class:`~repro.dist.coordinator.DistributedExecutor`.
 
 Because each cell seeds its own random streams from its spec (seed,
-replicate), results are bitwise identical between the serial and the
-parallel executor.
+replicate), results are bitwise identical between the serial, the parallel
+and the distributed executor.
 """
 
 from __future__ import annotations
@@ -24,6 +26,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 from typing import Callable, Iterable, Iterator, List, Optional, TypeVar
+
+from repro.runner.errors import CellErrorContext
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -56,6 +60,11 @@ class ParallelExecutor:
     later cells are still running.  ``function`` and every item must be
     picklable; each cell is dispatched individually (``chunksize=1``)
     because cells are long-running simulations whose durations vary widely.
+
+    Failures inside a worker process are re-raised as
+    :class:`~repro.runner.errors.CellExecutionError` naming the failing
+    cell's identity (see :mod:`repro.runner.errors`), instead of a bare
+    pool traceback.
     """
 
     def __init__(self, workers: Optional[int] = None, mp_context: Optional[str] = None):
@@ -79,7 +88,8 @@ class ParallelExecutor:
                 return
             context = multiprocessing.get_context(self._mp_context)
             with context.Pool(processes=min(self.workers, len(materialised))) as pool:
-                yield from pool.imap(function, materialised, chunksize=1)
+                yield from pool.imap(CellErrorContext(function), materialised,
+                                     chunksize=1)
 
         return stream()
 
@@ -92,8 +102,27 @@ class ParallelExecutor:
         return f"ParallelExecutor(workers={self.workers})"
 
 
-def make_executor(workers: Optional[int] = 0, mp_context: Optional[str] = None):
-    """Select an executor from a ``workers`` count (see module docstring)."""
+def make_executor(workers: Optional[int] = 0, mp_context: Optional[str] = None,
+                  address: Optional[str] = None, **distributed_options):
+    """Select an executor from a ``workers`` count (see module docstring).
+
+    With ``address="host:port"`` a
+    :class:`~repro.dist.coordinator.DistributedExecutor` is returned
+    instead: it binds the address and serves cells to every
+    ``repro-dist-worker`` that connects (``workers`` is ignored — the
+    cluster size is however many workers join).  Extra keyword options
+    (``heartbeat_timeout``, ``worker_timeout``) are forwarded to it.
+    """
+    if address is not None:
+        # imported lazily: repro.dist depends on repro.runner, not vice versa
+        from repro.dist.coordinator import DistributedExecutor
+
+        return DistributedExecutor(address, **distributed_options)
+    if distributed_options:
+        raise TypeError(
+            "distributed options "
+            f"{sorted(distributed_options)} require address='host:port'"
+        )
     if workers is None:
         workers = os.cpu_count() or 1
     if workers < 0:

@@ -1,7 +1,8 @@
 """Named experiment scenarios: the paper's evaluation grid by name.
 
 Each scenario maps a name (``fig12_stationary``, ``fig13_is_jump``,
-``fig14_pa_jump``, ``sinusoid``, ``thrashing``) to a builder that produces
+``fig14_pa_jump``, ``mixed_classes``, ``sinusoid``, ``thrashing``) to a
+builder that produces
 the corresponding :class:`~repro.runner.specs.SweepSpec` for a given
 :class:`~repro.experiments.config.ExperimentScale`.  Benchmarks, examples
 and ad-hoc scripts all obtain their cells here, so "run Figure 12 at smoke
@@ -29,6 +30,7 @@ from repro.experiments.dynamic import (
 from repro.experiments.stationary import stationary_sweep_spec
 from repro.runner.specs import ControllerSpec, SweepSpec
 from repro.tp.params import SystemParams
+from repro.tp.workload import TransactionClassSpec
 
 #: a scenario builder produces the sweep for one named experiment
 ScenarioBuilder = Callable[..., SweepSpec]
@@ -102,12 +104,13 @@ def _tracking_pa() -> ControllerSpec:
 
 
 def _stationary_cells(name: str, scale: ExperimentScale, base_params: SystemParams,
-                      variants) -> SweepSpec:
+                      variants, workload_classes=None) -> SweepSpec:
     """One stationary cell per (controller variant, offered load)."""
     cells = []
     for label, controller in variants:
         cells.extend(
-            stationary_sweep_spec(base_params, controller, scale, label, name=name).cells
+            stationary_sweep_spec(base_params, controller, scale, label, name=name,
+                                  workload_classes=workload_classes).cells
         )
     return SweepSpec(name=name, cells=tuple(cells))
 
@@ -145,6 +148,43 @@ def _jump_cells(name: str, scale: ExperimentScale, base_params: Optional[SystemP
                              jump_time=scale.tracking_horizon / 2.0)
     return tracking_sweep_spec(dict(variants), scenario, base_params=base,
                                scale=scale, name=name)
+
+
+@register_scenario(
+    "mixed_classes",
+    "Mixed OLTP/query workload: two transaction classes with distinct size and "
+    "write ratio, uncontrolled and under IS/PA control",
+)
+def _mixed_classes(scale: ExperimentScale, base_params: Optional[SystemParams],
+                   oltp_weight: float = 0.75,
+                   oltp_accesses: int = 4,
+                   oltp_write_fraction: float = 0.6,
+                   query_accesses: int = 20) -> SweepSpec:
+    """The ROADMAP's "mixed OLTP/query classes" scenario.
+
+    Small frequent updaters (the OLTP class) share the admission gate with
+    long read-only queries; the defaults keep the *expected* transaction
+    size at the standard configuration's ``k = 8``
+    (``0.75 * 4 + 0.25 * 20``), so the same offered-load grid applies while
+    the per-class contention profile differs sharply from the single-class
+    figures.
+    """
+    if not 0.0 < oltp_weight < 1.0:
+        raise ValueError(f"oltp_weight must be in (0, 1), got {oltp_weight}")
+    base = base_params or default_system_params(seed=29)
+    classes = (
+        TransactionClassSpec(name="oltp", weight=oltp_weight,
+                             accesses_per_txn=oltp_accesses,
+                             write_fraction=oltp_write_fraction),
+        TransactionClassSpec(name="long-query", weight=1.0 - oltp_weight,
+                             accesses_per_txn=query_accesses,
+                             write_fraction=0.0),
+    )
+    return _stationary_cells("mixed_classes", scale, base, [
+        ("without control", None),
+        ("IS control", ControllerSpec.make("incremental_steps")),
+        ("PA control", ControllerSpec.make("parabola")),
+    ], workload_classes=classes)
 
 
 @register_scenario(

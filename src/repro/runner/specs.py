@@ -30,7 +30,7 @@ from repro.core.rules import IyerRule, TayRule
 from repro.core.static import FixedLimit, NoControl
 from repro.experiments.config import ExperimentScale
 from repro.tp.params import SystemParams
-from repro.tp.workload import ParameterSchedule
+from repro.tp.workload import ParameterSchedule, TransactionClassSpec
 
 #: values of :attr:`RunSpec.kind`
 KIND_STATIONARY = "stationary"
@@ -193,6 +193,9 @@ class RunSpec:
     label: str = ""
     displacement: Optional[DisplacementPolicy] = None
     interval_tuner: Optional[MeasurementIntervalTuner] = None
+    #: stationary runs only: transaction classes of a mixed-class workload
+    #: (None = the single-class workload described by ``params.workload``)
+    workload_classes: Optional[Tuple[TransactionClassSpec, ...]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_STATIONARY, KIND_TRACKING):
@@ -205,6 +208,10 @@ class RunSpec:
             raise ValueError("tracking runs require a scenario")
         if self.kind == KIND_TRACKING and self.controller is None:
             raise ValueError("tracking runs require a controller")
+        if self.workload_classes is not None and self.kind != KIND_STATIONARY:
+            raise ValueError(
+                "mixed-class workloads are supported for stationary runs only"
+            )
 
     def controller_factory(self) -> Optional[Callable[[SystemParams], LoadController]]:
         """The factory the single-cell experiment functions expect."""

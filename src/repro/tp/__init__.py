@@ -21,9 +21,11 @@ from repro.tp.transaction import Transaction, TransactionClass
 from repro.tp.workload import (
     ConstantSchedule,
     JumpSchedule,
+    MixedClassWorkload,
     ParameterSchedule,
     SinusoidSchedule,
     StepSchedule,
+    TransactionClassSpec,
     Workload,
 )
 
@@ -36,6 +38,8 @@ __all__ = [
     "Transaction",
     "TransactionClass",
     "Workload",
+    "MixedClassWorkload",
+    "TransactionClassSpec",
     "ParameterSchedule",
     "ConstantSchedule",
     "JumpSchedule",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.sim.random_streams import RandomStreams
@@ -239,3 +240,124 @@ class Workload:
             f"<Workload k={self._accesses!r} query={self._query_fraction!r} "
             f"write={self._write_fraction!r}>"
         )
+
+
+# ----------------------------------------------------------------------
+# mixed transaction classes (OLTP + long queries)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TransactionClassSpec:
+    """One transaction class of a mixed workload, as picklable plain data.
+
+    ``write_fraction == 0`` makes the class read-only (its transactions are
+    :attr:`~repro.tp.transaction.TransactionClass.QUERY` instances); any
+    positive write fraction makes it an updater class that, like the base
+    workload's updaters, always performs at least one write.
+    """
+
+    name: str
+    #: relative frequency of the class in the mix (normalised over classes)
+    weight: float
+    #: granules accessed per transaction of this class (its own ``k``)
+    accesses_per_txn: int
+    #: probability that an access of this class's updaters is a write
+    write_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a transaction class needs a non-empty name")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.accesses_per_txn < 1:
+            raise ValueError(
+                f"accesses_per_txn must be >= 1, got {self.accesses_per_txn}"
+            )
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError(
+                f"write_fraction must be in [0, 1], got {self.write_fraction}"
+            )
+
+    @property
+    def is_query(self) -> bool:
+        """True for a read-only class."""
+        return self.write_fraction == 0.0
+
+
+class MixedClassWorkload(Workload):
+    """Several transaction classes with distinct size and write ratio.
+
+    The base :class:`Workload` realises the paper's single-class model: one
+    ``k`` for every transaction, the query/updater split drawn per the
+    query fraction.  This subclass realises the mixed OLTP/query workload:
+    each submission first draws a *class* from the weighted mix (its own
+    ``class-mix`` stream, so the class sequence forms common random numbers
+    across controllers), then samples the access set and write marks with
+    that class's own size and write ratio — small frequent updaters
+    sharing the gate with long read-only queries.
+
+    :meth:`params_at` reports the *expectation* of the mix (weight-averaged
+    transaction size, aggregate query fraction), so load controllers and
+    analytic references keep seeing a meaningful mean ``k``.
+    """
+
+    def __init__(self, base: WorkloadParams, streams: RandomStreams,
+                 classes: Sequence[TransactionClassSpec],
+                 database: Optional[Database] = None):
+        if not classes:
+            raise ValueError("at least one transaction class is required")
+        classes = tuple(classes)
+        total_weight = sum(spec.weight for spec in classes)
+        mean_k = sum(spec.weight * spec.accesses_per_txn for spec in classes) / total_weight
+        query_weight = sum(spec.weight for spec in classes if spec.is_query)
+        expected = base.with_changes(
+            accesses_per_txn=max(1, min(int(round(mean_k)), base.db_size)),
+            query_fraction=query_weight / total_weight,
+        )
+        super().__init__(expected, streams, database=database)
+        self.classes = classes
+        cumulative = []
+        running = 0.0
+        for spec in classes:
+            running += spec.weight / total_weight
+            cumulative.append(running)
+        cumulative[-1] = 1.0  # guard against float round-off at the top end
+        self._cumulative = tuple(cumulative)
+
+    def next_transaction(self, time: float, terminal_id: int) -> Transaction:
+        """Draw a class from the mix, then sample per the class's profile."""
+        draw = float(self.streams.stream("class-mix").random())
+        index = 0
+        while draw >= self._cumulative[index]:
+            index += 1
+        spec = self.classes[index]
+        k = min(spec.accesses_per_txn, self.base.db_size)
+        items = tuple(self.database.sample_access_set(k).tolist())
+        if spec.is_query:
+            txn_class = TransactionClass.QUERY
+            write_flags = (False,) * k
+        else:
+            txn_class = TransactionClass.UPDATER
+            rng = self.streams.stream("write-marks")
+            # same discipline as the base workload: vectorised draw, and an
+            # updater always performs at least one write
+            flags = rng.random(k) < spec.write_fraction
+            if not flags.any():
+                flags[int(rng.integers(0, k))] = True
+            write_flags = tuple(flags.tolist())
+        txn = Transaction(
+            txn_id=self._next_txn_id,
+            terminal_id=terminal_id,
+            txn_class=txn_class,
+            items=items,
+            write_flags=write_flags,
+            submitted_at=time,
+        )
+        self._next_txn_id += 1
+        return txn
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mix = ", ".join(
+            f"{spec.name}:{spec.weight:g}(k={spec.accesses_per_txn})"
+            for spec in self.classes
+        )
+        return f"<MixedClassWorkload {mix}>"

@@ -1,0 +1,110 @@
+"""Tests for the versioned archive artifacts of replicated sweep runs."""
+
+import json
+
+import pytest
+
+from repro.dist.archive import (
+    ARCHIVE_FORMAT,
+    archive_filename,
+    archive_sweep,
+    build_archive,
+    format_archive_table,
+    load_archive,
+    write_archive,
+)
+from repro.experiments.config import ExperimentScale
+from repro.runner.api import run_sweep
+from repro.runner.registry import build_sweep
+
+
+@pytest.fixture(scope="module")
+def replicated_result():
+    spec = build_sweep("thrashing", scale=ExperimentScale.smoke())
+    return run_sweep(spec, replicates=2)
+
+
+@pytest.fixture(scope="module")
+def archive(replicated_result):
+    return build_archive(replicated_result, scenario="thrashing",
+                         scale_name="smoke")
+
+
+class TestBuildArchive:
+    def test_run_coordinates(self, archive, replicated_result):
+        assert archive["format"] == ARCHIVE_FORMAT
+        assert archive["scenario"] == "thrashing"
+        assert archive["scale"] == "smoke"
+        assert archive["replicates"] == 2
+        assert archive["confidence"] == 0.95
+        assert archive["n_cells"] == len(replicated_result.aggregates)
+
+    def test_cell_metrics_carry_full_aggregates(self, archive, replicated_result):
+        for cell, aggregate in zip(archive["cells"], replicated_result.aggregates):
+            assert cell["cell_id"] == aggregate.cell_id
+            assert cell["replicates"] == 2
+            throughput = cell["metrics"]["throughput"]
+            summary = aggregate.metric("throughput")
+            assert throughput["mean"] == summary.mean
+            assert throughput["std"] == summary.std
+            assert throughput["ci_half_width"] == summary.ci_half_width
+            assert throughput["ci_lower"] == summary.lower
+            assert throughput["ci_upper"] == summary.upper
+            assert throughput["count"] == 2
+
+    def test_non_finite_metrics_are_tagged(self, archive):
+        # the uncontrolled thrashing cells report final_limit = inf; the
+        # artifact must stay strict JSON
+        final_limits = [cell["metrics"]["final_limit"]["mean"]
+                        for cell in archive["cells"]]
+        assert all(value == "__inf__" for value in final_limits)
+        json.dumps(archive, allow_nan=False)  # must not raise
+
+
+class TestWriteAndLoad:
+    def test_roundtrip_and_versioned_name(self, archive, tmp_path):
+        path = write_archive(archive, tmp_path)
+        assert path.name == archive_filename("thrashing", "smoke", 2)
+        assert f"v{ARCHIVE_FORMAT}" in path.name
+        assert load_archive(path) == archive
+
+    def test_writes_are_deterministic(self, archive, tmp_path):
+        first = write_archive(archive, tmp_path / "a").read_bytes()
+        second = write_archive(archive, tmp_path / "b").read_bytes()
+        assert first == second
+
+    def test_unsupported_format_rejected(self, archive, tmp_path):
+        stale = dict(archive, format=ARCHIVE_FORMAT + 1)
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps(stale))
+        with pytest.raises(ValueError, match="not supported"):
+            load_archive(path)
+
+
+class TestArchiveTable:
+    def test_table_lists_cells_with_ci(self, archive):
+        table = format_archive_table(archive)
+        for cell in archive["cells"]:
+            assert cell["cell_id"] in table
+        assert "T [txn/s]" in table
+        # two replicates with spread must render as mean ± half-width
+        assert "±" in table
+
+    def test_non_numeric_summaries_render_as_dash(self, archive):
+        table = format_archive_table(
+            archive, columns=(("final_limit", "limit"),))
+        assert "-" in table.splitlines()[-1]
+
+
+class TestArchiveSweep:
+    def test_one_call_archival_run(self, tmp_path):
+        path = archive_sweep("thrashing", out_dir=tmp_path, scale="smoke",
+                             replicates=2)
+        archive = load_archive(path)
+        assert archive["scenario"] == "thrashing"
+        assert archive["replicates"] == 2
+        assert archive["cells"]
+
+    def test_unknown_scale_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="scale"):
+            archive_sweep("thrashing", out_dir=tmp_path, scale="huge")

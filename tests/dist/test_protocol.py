@@ -1,0 +1,142 @@
+"""Framing tests for the coordinator/worker wire protocol."""
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist import protocol
+from repro.dist.protocol import (
+    HEADER,
+    ConnectionClosed,
+    ProtocolError,
+    format_address,
+    parse_address,
+    recv_message,
+    send_message,
+)
+from repro.experiments.config import ExperimentScale
+from repro.runner.registry import build_sweep
+
+
+def _roundtrip(messages):
+    """Send ``messages`` over a real socket pair, return what arrives."""
+    left, right = socket.socketpair()
+    received = []
+    try:
+        def reader():
+            for _ in messages:
+                received.append(recv_message(right))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        for message in messages:
+            send_message(left, message)
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "reader did not drain all frames"
+    finally:
+        left.close()
+        right.close()
+    return received
+
+
+#: nested JSON-ish payloads exercising arbitrary pickle structures
+_payloads = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.floats(allow_nan=False)
+    | st.text(max_size=20) | st.binary(max_size=64),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+class TestFramingRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(_payloads, min_size=1, max_size=6))
+    def test_arbitrary_payloads_roundtrip(self, messages):
+        assert _roundtrip(messages) == messages
+
+    def test_frame_boundaries_survive_interleaving(self):
+        # many small frames in one stream: each recv_message must stop at
+        # exactly its own frame boundary
+        messages = [("msg", index, "x" * index) for index in range(64)]
+        assert _roundtrip(messages) == messages
+
+    def test_large_frame_is_chunked_correctly(self):
+        # several MiB: exercises the recv_exact reassembly loop and the
+        # sendall path well past any single TCP segment
+        blob = np.random.default_rng(7).integers(0, 256, size=3 << 20,
+                                                 dtype=np.uint8).tobytes()
+        [received] = _roundtrip([("blob", blob)])
+        assert received == ("blob", blob)
+
+    def test_numpy_and_runspec_payloads(self):
+        spec = build_sweep("thrashing", scale=ExperimentScale.smoke())
+        array = np.arange(12.0).reshape(3, 4)
+        received = _roundtrip([("cells", spec.cells), ("array", array)])
+        assert received[0] == ("cells", spec.cells)
+        np.testing.assert_array_equal(received[1][1], array)
+
+
+class TestFramingFailureModes:
+    def test_eof_between_frames(self):
+        left, right = socket.socketpair()
+        left.close()
+        with pytest.raises(ConnectionClosed):
+            recv_message(right)
+        right.close()
+
+    def test_eof_inside_a_frame(self):
+        left, right = socket.socketpair()
+        try:
+            # announce 1000 bytes, deliver 10, hang up
+            left.sendall(HEADER.pack(1000) + b"x" * 10)
+            left.close()
+            with pytest.raises(ConnectionClosed, match="990 of 1000"):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(HEADER.pack(protocol.MAX_MESSAGE_BYTES + 1))
+            with pytest.raises(ProtocolError, match="beyond"):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_undecodable_frame_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            garbage = b"\x00definitely not a pickle"
+            left.sendall(HEADER.pack(len(garbage)) + garbage)
+            with pytest.raises(ProtocolError, match="undecodable"):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_header_is_eight_byte_big_endian(self):
+        # the prefix layout is the wire contract; pin it explicitly
+        assert HEADER.size == 8
+        assert HEADER.pack(1) == struct.pack(">Q", 1)
+
+
+class TestAddresses:
+    def test_parse_and_format_roundtrip(self):
+        assert parse_address("10.0.0.5:7077") == ("10.0.0.5", 7077)
+        assert format_address(*parse_address("localhost:80")) == "localhost:80"
+
+    def test_empty_host_means_all_interfaces(self):
+        assert parse_address(":9000") == ("0.0.0.0", 9000)
+
+    @pytest.mark.parametrize("bad", ["nocolon", "host:notaport", "host:70000"])
+    def test_invalid_addresses_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)

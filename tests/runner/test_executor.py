@@ -1,10 +1,17 @@
 """Executor tests, including the serial/parallel determinism guarantee."""
 
+import pickle
+
 import pytest
 
 from repro.experiments.config import ExperimentScale, default_system_params
 from repro.experiments.dynamic import jump_scenario
 from repro.runner.cells import execute_run_spec
+from repro.runner.errors import (
+    CellExecutionError,
+    describe_item,
+    run_with_cell_context,
+)
 from repro.runner.executor import ParallelExecutor, SerialExecutor, make_executor
 from repro.runner.specs import (
     KIND_STATIONARY,
@@ -95,6 +102,53 @@ class TestOrderingAndStreaming:
         assert calls == []
         assert next(iterator) == 1
         assert calls == [1]
+
+
+def _explode(item):
+    raise ValueError("injected cell failure")
+
+
+class TestCellErrorWrapping:
+    """A worker crash must name the failing cell, not dump a bare traceback."""
+
+    def test_parallel_failure_names_the_cell(self):
+        sweep = _mixed_sweep()
+        with pytest.raises(CellExecutionError) as caught:
+            ParallelExecutor(workers=2).execute(_explode, sweep.cells)
+        first = sweep.cells[0]
+        assert caught.value.cell_id == first.cell_id
+        message = str(caught.value)
+        assert first.cell_id in message
+        assert f"N={first.params.n_terminals}" in message
+        assert "ValueError: injected cell failure" in message
+
+    def test_error_survives_pickling(self):
+        error = CellExecutionError("cell 'x' failed: boom", cell_id="x")
+        clone = pickle.loads(pickle.dumps(error))
+        assert str(clone) == str(error)
+        assert clone.cell_id == "x"
+
+    def test_run_with_cell_context_passes_results_through(self):
+        assert run_with_cell_context(_double, 21) == 42
+
+    def test_run_with_cell_context_does_not_double_wrap(self):
+        def reraise(_item):
+            raise CellExecutionError("already wrapped", cell_id="inner")
+
+        with pytest.raises(CellExecutionError, match="already wrapped") as caught:
+            run_with_cell_context(reraise, object())
+        assert caught.value.cell_id == "inner"
+
+    def test_describe_item_falls_back_to_repr(self):
+        assert describe_item(42) == "42"
+        long_item = "x" * 500
+        assert len(describe_item(long_item)) <= 200
+
+    def test_serial_executor_raises_the_original_exception(self):
+        # serially the failure unwinds directly into the caller's stack,
+        # which is already debuggable; only fan-out executors wrap
+        with pytest.raises(ValueError, match="injected cell failure"):
+            SerialExecutor().execute(_explode, _mixed_sweep().cells)
 
 
 class TestDeterminism:

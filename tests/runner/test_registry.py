@@ -30,8 +30,29 @@ class TestRegistry:
     def test_paper_scenarios_are_registered(self):
         names = available_scenarios()
         for name in ("fig12_stationary", "fig13_is_jump", "fig14_pa_jump",
-                     "sinusoid", "thrashing"):
+                     "mixed_classes", "sinusoid", "thrashing"):
             assert name in names
+
+    def test_mixed_classes_structure(self):
+        sweep = build_sweep("mixed_classes", scale=TINY)
+        assert len(sweep) == 3 * len(TINY.offered_loads)
+        labels = {cell.label for cell in sweep.cells}
+        assert labels == {"without control", "IS control", "PA control"}
+        for cell in sweep.cells:
+            assert cell.kind == KIND_STATIONARY
+            oltp, query = cell.workload_classes
+            assert oltp.accesses_per_txn < query.accesses_per_txn
+            assert oltp.write_fraction > 0.0
+            assert query.is_query
+
+    def test_mixed_classes_runs_under_each_controller(self):
+        result = run_sweep("mixed_classes", scale=TINY)
+        assert len(result.results) == 3 * len(TINY.offered_loads)
+        assert all(r.metrics["throughput"] > 0 for r in result.results)
+
+    def test_mixed_classes_weight_validated(self):
+        with pytest.raises(ValueError, match="oltp_weight"):
+            build_sweep("mixed_classes", scale=TINY, oltp_weight=1.0)
 
     def test_unknown_scenario_raises_with_listing(self):
         with pytest.raises(KeyError, match="fig12_stationary"):

@@ -12,8 +12,10 @@ from repro.tp.transaction import TransactionClass
 from repro.tp.workload import (
     ConstantSchedule,
     JumpSchedule,
+    MixedClassWorkload,
     SinusoidSchedule,
     StepSchedule,
+    TransactionClassSpec,
     Workload,
 )
 
@@ -181,3 +183,88 @@ class TestTransactionSampling:
             assert txn.is_read_only
         elif write_fraction > 0:
             assert txn.write_count >= 1
+
+
+class TestMixedClassWorkload:
+    OLTP = TransactionClassSpec(name="oltp", weight=0.75, accesses_per_txn=4,
+                                write_fraction=0.6)
+    QUERY = TransactionClassSpec(name="long-query", weight=0.25,
+                                 accesses_per_txn=20, write_fraction=0.0)
+
+    def _workload(self, seed=5):
+        return MixedClassWorkload(WorkloadParams(), RandomStreams(seed=seed),
+                                  (self.OLTP, self.QUERY))
+
+    def test_class_spec_validation(self):
+        with pytest.raises(ValueError, match="weight"):
+            TransactionClassSpec(name="a", weight=0.0, accesses_per_txn=4)
+        with pytest.raises(ValueError, match="accesses_per_txn"):
+            TransactionClassSpec(name="a", weight=1.0, accesses_per_txn=0)
+        with pytest.raises(ValueError, match="write_fraction"):
+            TransactionClassSpec(name="a", weight=1.0, accesses_per_txn=4,
+                                 write_fraction=1.5)
+        with pytest.raises(ValueError, match="name"):
+            TransactionClassSpec(name="", weight=1.0, accesses_per_txn=4)
+
+    def test_requires_at_least_one_class(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MixedClassWorkload(WorkloadParams(), RandomStreams(seed=1), ())
+
+    def test_classes_have_distinct_size_and_write_profile(self):
+        workload = self._workload()
+        sizes = {TransactionClass.QUERY: set(), TransactionClass.UPDATER: set()}
+        for _ in range(400):
+            txn = workload.next_transaction(0.0, 0)
+            sizes[txn.txn_class].add(txn.size)
+            if txn.txn_class is TransactionClass.QUERY:
+                assert txn.is_read_only
+            else:
+                assert txn.write_count >= 1
+        assert sizes[TransactionClass.UPDATER] == {4}
+        assert sizes[TransactionClass.QUERY] == {20}
+
+    def test_mix_frequencies_follow_weights(self):
+        workload = self._workload()
+        queries = sum(
+            workload.next_transaction(0.0, 0).txn_class is TransactionClass.QUERY
+            for _ in range(4000)
+        )
+        assert queries / 4000 == pytest.approx(0.25, abs=0.025)
+
+    def test_updater_write_ratio_follows_class_write_fraction(self):
+        workload = self._workload()
+        writes = accesses = 0
+        for _ in range(3000):
+            txn = workload.next_transaction(0.0, 0)
+            if txn.txn_class is TransactionClass.UPDATER:
+                writes += txn.write_count
+                accesses += txn.size
+        assert writes / accesses == pytest.approx(0.6, abs=0.03)
+
+    def test_params_at_reports_the_mix_expectation(self):
+        workload = self._workload()
+        params = workload.params_at(0.0)
+        # 0.75 * 4 + 0.25 * 20 = 8 accesses expected per transaction
+        assert params.accesses_per_txn == 8
+        assert params.query_fraction == pytest.approx(0.25)
+
+    def test_same_streams_same_transactions(self):
+        left, right = self._workload(seed=11), self._workload(seed=11)
+        for _ in range(50):
+            a = left.next_transaction(0.0, 0)
+            b = right.next_transaction(0.0, 0)
+            assert (a.txn_class, a.items, a.write_flags) == \
+                (b.txn_class, b.items, b.write_flags)
+
+    def test_class_size_clamped_to_db(self):
+        huge = TransactionClassSpec(name="huge", weight=1.0,
+                                    accesses_per_txn=100)
+        workload = MixedClassWorkload(WorkloadParams(db_size=30),
+                                      RandomStreams(seed=2), (huge,))
+        assert workload.next_transaction(0.0, 0).size == 30
+
+    def test_specs_are_picklable(self):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps((self.OLTP, self.QUERY)))
+        assert clone == (self.OLTP, self.QUERY)

@@ -50,9 +50,9 @@ from repro.runner.cells import execute_run_spec  # noqa: E402
 from repro.runner.registry import available_scenarios, build_sweep  # noqa: E402
 from repro.sim.trace import TrajectoryTracer, tracing  # noqa: E402
 
-#: the five scenarios pinned by the golden harness (== the full registry)
+#: the scenarios pinned by the golden harness (== the full registry)
 GOLDEN_SCENARIOS = ("thrashing", "fig12_stationary", "fig13_is_jump",
-                    "fig14_pa_jump", "sinusoid")
+                    "fig14_pa_jump", "sinusoid", "mixed_classes")
 
 #: bump when the golden file structure (not the trajectories) changes
 GOLDEN_FORMAT = 1

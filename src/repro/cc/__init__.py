@@ -8,6 +8,12 @@ thrashing emerges naturally once the physical resources saturate.
 Two-phase locking with deadlock detection is also provided so that the
 blocking-CC class discussed in Section 1 (and by the Tay/Iyer rules of thumb)
 can be exercised by the same transaction model.
+
+The registry (:mod:`repro.cc.registry`) makes the scheme a sweepable
+dimension of the experiment grid: a picklable :class:`CCSpec` names a
+registered kind (``timestamp_cert``, ``two_phase_locking``) plus its
+options, and the runner builds the scheme inside the worker that runs the
+cell — exactly like controllers.
 """
 
 from repro.cc.base import (
@@ -15,6 +21,7 @@ from repro.cc.base import (
     ConcurrencyControl,
     TransactionAborted,
 )
+from repro.cc.registry import CCSpec, cc_kinds, register_cc, resolve_cc
 from repro.cc.timestamp_cert import TimestampCertification
 from repro.cc.two_phase_locking import LockMode, TwoPhaseLocking
 
@@ -25,4 +32,8 @@ __all__ = [
     "TimestampCertification",
     "TwoPhaseLocking",
     "LockMode",
+    "CCSpec",
+    "cc_kinds",
+    "register_cc",
+    "resolve_cc",
 ]

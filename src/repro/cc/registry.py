@@ -1,0 +1,126 @@
+"""The concurrency control registry: schemes as picklable sweep data.
+
+The paper claims its load-control results hold across concurrency control
+classes (blocking and non-blocking, Section 1); to *test* that claim the
+scheme must be a first-class dimension of the experiment grid.  Like
+controllers (:class:`~repro.runner.specs.ControllerSpec`), stateful CC
+objects cannot travel to worker processes — a :class:`CCSpec` names a
+scheme from this registry plus its constructor options, and the scheme
+instance is built inside the worker that runs the cell, bound to that
+cell's simulator.
+
+Two schemes are registered out of the box:
+
+* ``timestamp_cert`` — the paper's optimistic timestamp certification
+  (:class:`~repro.cc.timestamp_cert.TimestampCertification`), the default
+  of every run that does not name a scheme;
+* ``two_phase_locking`` — strict 2PL with deadlock detection
+  (:class:`~repro.cc.two_phase_locking.TwoPhaseLocking`), the blocking
+  representative; accepts ``victim_policy`` (``youngest`` / ``oldest`` /
+  ``fewest_locks``).
+
+``register_cc`` extends the registry the same way ``register_controller``
+and ``register_scenario`` do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+from repro.cc.base import ConcurrencyControl
+from repro.cc.timestamp_cert import TimestampCertification
+from repro.cc.two_phase_locking import TwoPhaseLocking
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.engine import Simulator
+
+#: a CC builder receives the cell's simulator plus the spec's options
+CCBuilder = Callable[..., ConcurrencyControl]
+
+_CC_BUILDERS: Dict[str, CCBuilder] = {}
+
+
+def register_cc(kind: str) -> Callable[[CCBuilder], CCBuilder]:
+    """Register a concurrency control builder under ``kind`` (decorator)."""
+
+    def decorator(builder: CCBuilder) -> CCBuilder:
+        if kind in _CC_BUILDERS:
+            raise ValueError(f"cc kind {kind!r} is already registered")
+        _CC_BUILDERS[kind] = builder
+        return builder
+
+    return decorator
+
+
+def cc_kinds() -> Tuple[str, ...]:
+    """All registered concurrency control kinds."""
+    return tuple(sorted(_CC_BUILDERS))
+
+
+@dataclass(frozen=True)
+class CCSpec:
+    """A picklable description of a CC scheme: registry kind + options.
+
+    ``options`` is stored as a sorted tuple of ``(name, value)`` pairs so
+    specs are hashable and two specs with the same options compare equal
+    regardless of keyword order — the same contract as
+    :class:`~repro.runner.specs.ControllerSpec`.  Use :meth:`make` to build
+    one from keyword arguments.
+    """
+
+    kind: str
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, **options) -> "CCSpec":
+        """Build a spec from keyword options."""
+        return cls(kind=kind, options=tuple(sorted(options.items())))
+
+    def build(self, sim: "Simulator") -> ConcurrencyControl:
+        """Construct a fresh scheme instance bound to one run's simulator."""
+        builder = _CC_BUILDERS.get(self.kind)
+        if builder is None:
+            raise KeyError(
+                f"unknown cc kind {self.kind!r}; "
+                f"available: {', '.join(cc_kinds())}"
+            )
+        return builder(sim, **dict(self.options))
+
+
+def resolve_cc(cc: Optional[object], sim: "Simulator") -> Optional[ConcurrencyControl]:
+    """Build the scheme instance of one run (``None`` = the system default).
+
+    ``cc`` may be ``None``, a :class:`CCSpec`, or a picklable callable
+    ``factory(sim) -> ConcurrencyControl`` (lambdas/closures work with the
+    serial executor only).  Ready instances are rejected: a scheme carries
+    per-run state (lock tables, committed timestamps), so sharing one
+    object across cells or replicates would corrupt the runs.
+    """
+    if cc is None:
+        return None
+    if isinstance(cc, CCSpec):
+        return cc.build(sim)
+    if isinstance(cc, ConcurrencyControl):
+        raise TypeError(
+            "pass a CCSpec or a factory, not a ConcurrencyControl instance: "
+            "schemes hold per-run state and must be built fresh inside each run"
+        )
+    if callable(cc):
+        return cc(sim)
+    raise TypeError(
+        f"cc must be None, a CCSpec or a callable, got {type(cc).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# built-in schemes
+# ----------------------------------------------------------------------
+@register_cc("timestamp_cert")
+def _build_timestamp_cert(sim: "Simulator", **options) -> ConcurrencyControl:
+    return TimestampCertification(sim, **options)
+
+
+@register_cc("two_phase_locking")
+def _build_two_phase_locking(sim: "Simulator", **options) -> ConcurrencyControl:
+    return TwoPhaseLocking(sim, **options)

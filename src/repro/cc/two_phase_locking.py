@@ -115,8 +115,15 @@ class TwoPhaseLocking(ConcurrencyControl):
         self._release_all(txn.txn_id)
 
     def active_count(self) -> int:
-        """Transactions currently holding or waiting for locks."""
-        return len([t for t, items in self._held.items() if items]) + len(self._waiting_for_item)
+        """Transactions currently holding or waiting for locks.
+
+        A transaction that holds locks while waiting for another counts
+        once (the sets overlap for every blocked-but-not-empty-handed
+        transaction, which is the common case under contention).
+        """
+        active = {txn for txn, items in self._held.items() if items}
+        active.update(self._waiting_for_item)
+        return len(active)
 
     def reset(self) -> None:
         """Drop the whole lock table (between experiment repetitions)."""
@@ -174,10 +181,20 @@ class TwoPhaseLocking(ConcurrencyControl):
         event = Event(self.sim)
         state.waiters.append(_LockRequest(txn_id, mode, event))
         self._waiting_for_item[txn_id] = item
+        # A single block can close SEVERAL cycles at once: the FCFS edges
+        # (waiting for earlier waiters of the same granule) run in parallel
+        # to the direct holder edges, so aborting the victim of the first
+        # cycle found may leave another cycle through the same granule
+        # intact — and no further blocking event would ever re-trigger
+        # detection for it.  Re-detect until the requester's reachable
+        # graph is cycle-free (each round aborts one waiter, so this
+        # terminates); once the requester itself is sacrificed it no longer
+        # waits and the loop ends naturally.
         victim = self._detect_deadlock(txn_id)
-        if victim is not None:
+        while victim is not None:
             self.deadlocks += 1
             self._abort_waiter(victim, item_hint=item)
+            victim = self._detect_deadlock(txn_id)
         return event
 
     def _release_all(self, txn_id: int) -> None:

@@ -94,6 +94,23 @@ class DisplacementPolicy:
             txn.admitted_at if txn.admitted_at is not None else -math.inf,
         )
 
+    # ------------------------------------------------------------------
+    # Policies compare (and hash) by *configuration*, not by accumulated
+    # run state: a RunSpec carrying a policy must equal its pickled copy
+    # after a trip through the dist wire protocol, and two cells
+    # configured identically describe the same experiment regardless of
+    # how many victims either instance has selected so far.
+    def _config(self) -> tuple:
+        return (self.criterion, self.enabled, self.hysteresis)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DisplacementPolicy):
+            return NotImplemented
+        return self._config() == other._config()
+
+    def __hash__(self) -> int:
+        return hash(self._config())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "enabled" if self.enabled else "disabled"
         return f"<DisplacementPolicy {self.criterion.value} {state}>"

@@ -29,11 +29,13 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analytic.occ import OccModel
 from repro.analytic.synthetic import DynamicOptimumScenario, SyntheticSystem
+from repro.cc.registry import resolve_cc
 from repro.core.controller import LoadController
 from repro.core.displacement import DisplacementPolicy
 from repro.core.outer_loop import MeasurementIntervalTuner
 from repro.core.types import ControlTrace
 from repro.experiments.config import ExperimentScale, default_system_params
+from repro.sim.engine import Simulator
 from repro.sim.random_streams import RandomStreams
 from repro.tp.params import SystemParams
 from repro.tp.system import TransactionSystem
@@ -133,7 +135,8 @@ def run_tracking_experiment(controller: LoadController,
                             displacement: Optional[DisplacementPolicy] = None,
                             reference_resolution: int = 20,
                             interval_tuner: Optional[MeasurementIntervalTuner] = None,
-                            streams: Optional[RandomStreams] = None) -> TrackingResult:
+                            streams: Optional[RandomStreams] = None,
+                            cc: Optional[object] = None) -> TrackingResult:
     """Run the full simulation with a time-varying workload and a controller.
 
     ``reference_resolution`` limits how many times the (comparatively
@@ -142,7 +145,11 @@ def run_tracking_experiment(controller: LoadController,
     scenarios and a fine approximation for slow sinusoids.
     ``interval_tuner`` enables the outer control loop of Section 5;
     ``streams`` overrides the run's random streams (the runner passes a
-    replicate-derived family here).
+    replicate-derived family here); ``cc`` selects the concurrency control
+    scheme (``None`` = timestamp certification, or a
+    :class:`~repro.cc.registry.CCSpec` / factory ``sim -> scheme``) — the
+    analytic reference optimum is always the OCC model's, so trajectories
+    of different schemes are compared against one common yardstick.
     """
     scale = scale or ExperimentScale.benchmark()
     base_params = base_params or default_system_params()
@@ -151,10 +158,13 @@ def run_tracking_experiment(controller: LoadController,
     streams = streams or RandomStreams(base_params.seed)
     workload_for_reference = _build_workload(base_params, RandomStreams(base_params.seed), parameter, schedule)
 
+    sim = Simulator()
     system = TransactionSystem(
         base_params,
+        sim=sim,
         streams=streams,
         workload=_build_workload(base_params, streams, parameter, schedule),
+        cc=resolve_cc(cc, sim),
         displacement=displacement,
     )
     measurement = system.attach_controller(
@@ -205,12 +215,14 @@ def tracking_sweep_spec(controllers: Mapping[str, object],
                         scale: Optional[ExperimentScale] = None,
                         name: str = "tracking",
                         displacement: Optional[DisplacementPolicy] = None,
-                        interval_tuner: Optional[MeasurementIntervalTuner] = None):
+                        interval_tuner: Optional[MeasurementIntervalTuner] = None,
+                        cc: Optional[object] = None):
     """Build a runner sweep with one tracking cell per named controller.
 
     Each value of ``controllers`` may be a
     :class:`~repro.runner.specs.ControllerSpec` or a picklable factory
-    ``params -> LoadController``.
+    ``params -> LoadController``.  ``displacement`` and ``cc`` apply to
+    every cell of the sweep.
     """
     from repro.runner.specs import KIND_TRACKING, RunSpec, SweepSpec
 
@@ -227,6 +239,7 @@ def tracking_sweep_spec(controllers: Mapping[str, object],
             label=label,
             displacement=displacement,
             interval_tuner=interval_tuner,
+            cc=cc,
         )
         for label, controller in controllers.items()
     )
@@ -241,11 +254,12 @@ def run_tracking_suite(controllers: Mapping[str, object],
                        replicates: int = 1,
                        name: str = "tracking",
                        displacement: Optional[DisplacementPolicy] = None,
-                       interval_tuner: Optional[MeasurementIntervalTuner] = None):
+                       interval_tuner: Optional[MeasurementIntervalTuner] = None,
+                       cc: Optional[object] = None):
     """Run one tracking cell per controller through the runner.
 
-    ``displacement`` and ``interval_tuner`` apply to every cell of the
-    suite.  Returns the :class:`~repro.runner.api.SweepResult`; use
+    ``displacement``, ``interval_tuner`` and ``cc`` apply to every cell of
+    the suite.  Returns the :class:`~repro.runner.api.SweepResult`; use
     :func:`repro.runner.tracking_results` for the per-controller
     trajectories and :attr:`~repro.runner.api.SweepResult.aggregates` for
     replicate mean ± CI summaries.
@@ -254,7 +268,7 @@ def run_tracking_suite(controllers: Mapping[str, object],
 
     spec = tracking_sweep_spec(controllers, scenario, base_params=base_params,
                                scale=scale, name=name, displacement=displacement,
-                               interval_tuner=interval_tuner)
+                               interval_tuner=interval_tuner, cc=cc)
     return run_sweep(spec, workers=workers, replicates=replicates)
 
 

@@ -23,9 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.cc.registry import resolve_cc
 from repro.core.controller import LoadController
 from repro.core.measurement import MeasurementProcess
 from repro.experiments.config import ExperimentScale, default_system_params
+from repro.sim.engine import Simulator
 from repro.sim.random_streams import RandomStreams
 from repro.tp.params import SystemParams
 from repro.tp.system import TransactionSystem
@@ -97,7 +99,8 @@ def run_stationary_point(params: SystemParams,
                          warmup: float = 5.0,
                          measurement_interval: float = 2.0,
                          streams: Optional[RandomStreams] = None,
-                         workload_classes: Optional[Sequence[TransactionClassSpec]] = None
+                         workload_classes: Optional[Sequence[TransactionClassSpec]] = None,
+                         cc: Optional[object] = None
                          ) -> StationaryPoint:
     """Run one stationary simulation and summarise it.
 
@@ -109,6 +112,10 @@ def run_stationary_point(params: SystemParams,
     ``workload_classes`` switches the run onto a
     :class:`~repro.tp.workload.MixedClassWorkload` with the given class mix
     instead of the single-class workload of ``params.workload``.
+    ``cc`` selects the concurrency control scheme — ``None`` (the default
+    timestamp certification), a :class:`~repro.cc.registry.CCSpec`, or a
+    factory ``sim -> ConcurrencyControl``; the scheme is built fresh for
+    this run, bound to the run's simulator.
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be positive, got {horizon}")
@@ -118,7 +125,9 @@ def run_stationary_point(params: SystemParams,
     workload = None
     if workload_classes is not None:
         workload = MixedClassWorkload(params.workload, streams, workload_classes)
-    system = TransactionSystem(params, streams=streams, workload=workload)
+    sim = Simulator()
+    system = TransactionSystem(params, sim=sim, streams=streams, workload=workload,
+                               cc=resolve_cc(cc, sim))
     measurement: Optional[MeasurementProcess] = None
     if controller_factory is not None:
         controller = controller_factory(params)
@@ -152,13 +161,17 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
                           scale: Optional[ExperimentScale] = None,
                           label: Optional[str] = None,
                           name: str = "stationary",
-                          workload_classes: Optional[Sequence[TransactionClassSpec]] = None):
+                          workload_classes: Optional[Sequence[TransactionClassSpec]] = None,
+                          cc: Optional[object] = None):
     """Build the runner :class:`~repro.runner.specs.SweepSpec` of one curve.
 
     ``controller`` may be ``None`` (uncontrolled), a
     :class:`~repro.runner.specs.ControllerSpec`, or a picklable factory
     ``params -> LoadController``.  ``workload_classes`` puts every cell on
-    a mixed-class workload (see :func:`run_stationary_point`).
+    a mixed-class workload (see :func:`run_stationary_point`); ``cc`` puts
+    every cell on the named concurrency control scheme (``None`` = the
+    default timestamp certification, or a
+    :class:`~repro.cc.registry.CCSpec` / factory).
     """
     from repro.runner.specs import KIND_STATIONARY, RunSpec, SweepSpec
 
@@ -176,6 +189,7 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
             controller=controller,
             label=label,
             workload_classes=classes,
+            cc=cc,
         )
         for offered_load in scale.offered_loads
     )

@@ -20,6 +20,7 @@ The two invariants everything here is built around:
   common-random-numbers structure across controllers is preserved.
 """
 
+from repro.cc.registry import CCSpec, cc_kinds, register_cc
 from repro.runner.api import (
     SweepResult,
     run_sweep,
@@ -86,8 +87,11 @@ __all__ = [
     "KIND_STATIONARY",
     "KIND_TRACKING",
     "ControllerSpec",
+    "CCSpec",
     "RunSpec",
     "SweepSpec",
+    "cc_kinds",
     "controller_kinds",
+    "register_cc",
     "register_controller",
 ]

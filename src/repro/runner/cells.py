@@ -80,6 +80,7 @@ def _execute_stationary(spec: RunSpec) -> CellResult:
         measurement_interval=spec.scale.measurement_interval,
         streams=replicate_streams(spec.params.seed, spec.replicate),
         workload_classes=spec.workload_classes,
+        cc=spec.cc,
     )
     metrics = {
         "throughput": point.throughput,
@@ -104,17 +105,19 @@ def _execute_tracking(spec: RunSpec) -> CellResult:
     from repro.experiments.dynamic import run_tracking_experiment
     from repro.experiments.tracking import compute_tracking_metrics
 
+    # the policy objects accumulate run state; copying per execution keeps
+    # cells independent however often a process executes one (serial
+    # executor, replicate expansion, multiprocessing worker reuse)
+    displacement = copy.deepcopy(spec.displacement)
     result = run_tracking_experiment(
         spec.build_controller(),
         spec.scenario,
         base_params=spec.params,
         scale=spec.scale,
-        # the policy objects accumulate run state; copying per execution keeps
-        # cells independent however often a process executes one (serial
-        # executor, replicate expansion, multiprocessing worker reuse)
-        displacement=copy.deepcopy(spec.displacement),
+        displacement=displacement,
         interval_tuner=copy.deepcopy(spec.interval_tuner),
         streams=replicate_streams(spec.params.seed, spec.replicate),
+        cc=spec.cc,
     )
     horizon = spec.scale.tracking_horizon
     metrics = {
@@ -123,6 +126,10 @@ def _execute_tracking(spec: RunSpec) -> CellResult:
         "restart_ratio": result.restart_ratio,
         "commits": float(result.total_commits),
     }
+    if displacement is not None:
+        # only cells that carry a policy report this, so the metrics of all
+        # displacement-free cells (and their goldens) are unchanged
+        metrics["displaced"] = float(displacement.total_displaced)
     try:
         tracking = compute_tracking_metrics(
             result,

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.cc.registry import CCSpec
 from repro.core.controller import LoadController
 from repro.core.displacement import DisplacementPolicy
 from repro.core.incremental_steps import IncrementalStepsController
@@ -175,6 +176,13 @@ class RunSpec:
       so existing ``controller_factory`` call sites can delegate to the
       runner (lambdas/closures only work with the serial executor).
 
+    ``cc`` selects the concurrency control scheme the same way: ``None``
+    runs the system default (timestamp certification), a
+    :class:`~repro.cc.registry.CCSpec` is resolved against the CC registry
+    inside the worker, and a picklable callable ``factory(sim) ->
+    ConcurrencyControl`` is supported for ad-hoc schemes (serial executor
+    only for lambdas/closures).
+
     ``replicate`` selects the replicate branch of the run's random streams
     (see :meth:`repro.sim.random_streams.RandomStreams.spawn`); replicate 0
     is bitwise identical to a plain, non-replicated run.
@@ -196,6 +204,9 @@ class RunSpec:
     #: stationary runs only: transaction classes of a mixed-class workload
     #: (None = the single-class workload described by ``params.workload``)
     workload_classes: Optional[Tuple[TransactionClassSpec, ...]] = None
+    #: concurrency control scheme (None = the system default, timestamp
+    #: certification); a CCSpec or a picklable ``factory(sim) -> scheme``
+    cc: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_STATIONARY, KIND_TRACKING):
@@ -211,6 +222,12 @@ class RunSpec:
         if self.workload_classes is not None and self.kind != KIND_STATIONARY:
             raise ValueError(
                 "mixed-class workloads are supported for stationary runs only"
+            )
+        if self.cc is not None and not isinstance(self.cc, CCSpec) \
+                and not callable(self.cc):
+            raise TypeError(
+                "cc must be None, a CCSpec or a callable, "
+                f"got {type(self.cc).__name__}"
             )
 
     def controller_factory(self) -> Optional[Callable[[SystemParams], LoadController]]:

@@ -32,7 +32,13 @@ from repro.tp.transaction import Transaction, TransactionClass
 
 
 class ParameterSchedule(ABC):
-    """A scalar workload parameter as a function of simulated time."""
+    """A scalar workload parameter as a function of simulated time.
+
+    Schedules are pure configuration (every attribute is set once in
+    ``__init__``), so they compare and hash by configuration: a
+    :class:`~repro.runner.specs.RunSpec` carrying a schedule equals its
+    pickled copy after a trip through the dist wire protocol.
+    """
 
     @abstractmethod
     def value(self, time: float) -> float:
@@ -40,6 +46,20 @@ class ParameterSchedule(ABC):
 
     def __call__(self, time: float) -> float:
         return self.value(time)
+
+    def _config(self) -> tuple:
+        return tuple(sorted(
+            (name, tuple(attr) if isinstance(attr, list) else attr)
+            for name, attr in self.__dict__.items()
+        ))
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._config() == other._config()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._config()))
 
 
 class ConstantSchedule(ParameterSchedule):

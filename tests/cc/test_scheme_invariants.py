@@ -1,0 +1,110 @@
+"""Cross-scheme invariants: every registered CC scheme obeys the model.
+
+The registry (:mod:`repro.cc.registry`) makes the concurrency control
+scheme a sweep dimension, so these tests run over *every* registered kind
+— a scheme added to the registry is automatically held to the same
+contract:
+
+* **closed-model conservation** — transactions never leak: at any stopping
+  point ``admitted == committed + in-flight`` (without displacement every
+  departure is a commit; abandoned executions restart inside the system);
+* **rise-then-fall** — the load/throughput curve has the paper's Figure 1
+  shape.  The loads are not guessed: they are placed around the scheme's
+  *analytic oracle* — the OCC fixed-point model
+  (:class:`repro.analytic.occ.OccModel`) for the optimistic scheme, Tay's
+  locking model (:class:`repro.analytic.tay.TayModel`) for 2PL — so the
+  test also checks that the simulated optimum sits where the matching
+  first-order theory predicts thrashing territory begins.
+"""
+
+import pytest
+
+from repro.analytic.occ import OccModel
+from repro.analytic.tay import TayModel
+from repro.cc import CCSpec, cc_kinds
+from repro.experiments.stationary import run_stationary_point
+from repro.sim.engine import Simulator
+from repro.tp.params import SystemParams, WorkloadParams
+from repro.tp.system import TransactionSystem
+
+
+def contended_params(seed: int = 11, think_time: float = 0.0) -> SystemParams:
+    """A small, heavily contended configuration: fast runs, real conflicts.
+
+    ``think_time=0`` keeps every terminal's transaction permanently in the
+    system, so the multiprogramming level *equals* the offered load and
+    the analytic oracles (which reason in MPL) apply directly.
+    """
+    return SystemParams(
+        n_terminals=10, think_time=think_time, n_cpus=2,
+        cpu_init=0.002, cpu_per_access=0.002, cpu_commit=0.002,
+        disk_per_access=0.004, disk_commit=0.004, restart_delay=0.005,
+        seed=seed,
+        workload=WorkloadParams(db_size=150, accesses_per_txn=6,
+                                query_fraction=0.1, write_fraction=0.8))
+
+
+def oracle_optimum(kind: str, params: SystemParams) -> float:
+    """The analytic model's optimum MPL for the scheme class."""
+    if kind == "two_phase_locking":
+        model = TayModel(db_size=params.workload.db_size,
+                         locks_per_txn=params.workload.accesses_per_txn)
+        return model.critical_mpl()
+    # optimistic / unknown schemes: the OCC fixed-point model
+    return OccModel(params).optimal_mpl()
+
+
+class TestEveryRegisteredScheme:
+    def test_both_paper_schemes_are_registered(self):
+        kinds = cc_kinds()
+        assert "timestamp_cert" in kinds
+        assert "two_phase_locking" in kinds
+
+    @pytest.mark.parametrize("kind", cc_kinds())
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_admitted_equals_committed_plus_in_flight(self, kind, seed):
+        """Gate-level conservation holds under every scheme."""
+        params = contended_params(seed=seed, think_time=0.1).with_changes(
+            n_terminals=30)
+        sim = Simulator()
+        system = TransactionSystem(params, sim=sim, cc=CCSpec.make(kind).build(sim))
+        system.run(until=5.0)
+
+        gate = system.gate
+        metrics = system.metrics
+        in_flight = gate.current_load
+        assert gate.total_admitted == gate.total_departed + in_flight
+        # no displacement configured: departures are exactly the commits
+        assert gate.total_departed == metrics.commits
+        assert gate.total_admitted == metrics.commits + in_flight
+        # abandoned executions restart in place, they never depart
+        assert metrics.restarts == metrics.total_aborts
+        assert metrics.commits > 0
+        # the contended configuration must exercise the scheme's abort path
+        assert metrics.total_aborts > 0, f"{kind} never aborted: test is vacuous"
+        # the scheme's own registration count drains with the transactions
+        assert system.cc.active_count() <= params.n_terminals
+
+    @pytest.mark.parametrize("kind", cc_kinds())
+    def test_throughput_rises_then_falls_where_the_oracle_predicts(self, kind):
+        """The smoke-scale curve has the Figure 1 shape around the oracle."""
+        base = contended_params(seed=11)
+        optimum = oracle_optimum(kind, base)
+        assert optimum > 1.0, "oracle must predict a usable optimum"
+        low = max(2, round(0.25 * optimum))
+        mid = max(low + 1, round(optimum))
+        high = max(4 * mid, round(6 * optimum))
+
+        throughput = {}
+        for load in (low, mid, high):
+            point = run_stationary_point(
+                base.with_changes(n_terminals=load),
+                horizon=6.0, warmup=1.0, cc=CCSpec.make(kind))
+            throughput[load] = point.throughput
+
+        # rising flank: well below the oracle optimum, more load helps
+        assert throughput[mid] > throughput[low], (
+            f"{kind}: no rise {throughput} around oracle optimum {optimum:.1f}")
+        # falling flank: far beyond it, contention destroys throughput
+        assert throughput[high] < 0.85 * throughput[mid], (
+            f"{kind}: no thrashing {throughput} beyond oracle optimum {optimum:.1f}")

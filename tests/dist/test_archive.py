@@ -60,6 +60,25 @@ class TestBuildArchive:
         assert all(value == "__inf__" for value in final_limits)
         json.dumps(archive, allow_nan=False)  # must not raise
 
+    def test_cc_dimension_lands_in_artifacts(self, tmp_path):
+        """A 2PL-vs-OCC sweep archives exactly like any other scenario.
+
+        The cells carry :class:`~repro.cc.registry.CCSpec` descriptors; the
+        archive pipeline must keep the per-scheme series apart (label +
+        cell id) so paper-scale ``cc_compare`` runs on a dist cluster
+        produce a readable artifact with no special-casing.
+        """
+        path = archive_sweep("cc_compare", out_dir=tmp_path, scale="smoke",
+                             replicates=1, workers=0)
+        archive = load_archive(path)
+        assert archive["scenario"] == "cc_compare"
+        labels = {cell["label"] for cell in archive["cells"]}
+        assert labels == {"OCC without control", "OCC IS control",
+                          "2PL without control", "2PL IS control"}
+        table = format_archive_table(archive)
+        assert "2PL IS control" in table
+        json.dumps(archive, allow_nan=False)  # must not raise
+
 
 class TestWriteAndLoad:
     def test_roundtrip_and_versioned_name(self, archive, tmp_path):

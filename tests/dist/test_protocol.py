@@ -9,6 +9,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.displacement import VictimCriterion
 from repro.dist import protocol
 from repro.dist.protocol import (
     HEADER,
@@ -80,6 +81,46 @@ class TestFramingRoundTrip:
         received = _roundtrip([("cells", spec.cells), ("array", array)])
         assert received[0] == ("cells", spec.cells)
         np.testing.assert_array_equal(received[1][1], array)
+
+    def test_displacement_policy_and_cc_spec_runspecs_roundtrip(self):
+        """The post-dist sweep dimensions survive the wire protocol intact.
+
+        ``displacement_policies`` cells carry a
+        :class:`~repro.core.displacement.DisplacementPolicy` (with its
+        :class:`~repro.core.displacement.VictimCriterion`), ``cc_compare``
+        cells a :class:`~repro.cc.registry.CCSpec`; a coordinator ships
+        exactly these specs to remote workers, so their framing round-trip
+        must preserve every configuration field.
+        """
+        displacement_spec = build_sweep("displacement_policies",
+                                        scale=ExperimentScale.smoke())
+        cc_spec = build_sweep("cc_compare", scale=ExperimentScale.smoke())
+        received = _roundtrip([("displacement", displacement_spec.cells),
+                               ("cc", cc_spec.cells)])
+
+        assert received[0] == ("displacement", displacement_spec.cells)
+        _tag, arrived = received[0]
+        for original, restored in zip(displacement_spec.cells, arrived):
+            if original.displacement is None:
+                assert restored.displacement is None
+                continue
+            assert restored.displacement is not original.displacement
+            assert restored.displacement.criterion is original.displacement.criterion
+            assert restored.displacement.hysteresis == original.displacement.hysteresis
+            assert restored.displacement.enabled == original.displacement.enabled
+
+        assert received[1] == ("cc", cc_spec.cells)
+        for original, restored in zip(cc_spec.cells, received[1][1]):
+            assert restored.cc == original.cc
+            assert restored.cc.kind in ("timestamp_cert", "two_phase_locking")
+
+    @pytest.mark.parametrize("criterion", list(VictimCriterion))
+    def test_victim_criterion_pickle_identity(self, criterion):
+        # enum members must unpickle to the *same* object, or criterion
+        # comparisons inside a worker would silently misbehave
+        import pickle
+
+        assert pickle.loads(pickle.dumps(criterion)) is criterion
 
 
 class TestFramingFailureModes:

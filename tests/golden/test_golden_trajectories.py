@@ -1,12 +1,14 @@
 """Golden-trajectory regression tests for the simulation core.
 
 The fixtures under ``tests/golden/`` pin the exact behavior of the
-discrete-event engine through all five registry scenarios at smoke scale:
+discrete-event engine through every registry scenario at smoke scale:
 per-transaction lifecycle event logs (via a digest over their canonical
 serialisation, plus a verbatim head) and the runner's summary metrics.
-They were generated with ``tools/regen_goldens.py`` *before* the hot-path
-rewrite of the engine and act as the bit-for-bit contract the optimised
-engine must honour.
+The original five were generated with ``tools/regen_goldens.py`` *before*
+the hot-path rewrite of the engine and act as the bit-for-bit contract the
+optimised engine must honour; later scenarios (``mixed_classes``,
+``cc_compare``, ``displacement_policies``) were pinned the moment they
+were introduced.
 
 Two assertions per scenario:
 
@@ -17,6 +19,11 @@ Two assertions per scenario:
   executor reproduces the golden metrics of every cell bitwise (the
   tracer is process-local, so the parallel path is checked through the
   deterministic summary metrics).
+
+The scenarios that carry the sweep dimensions added after the distributed
+subsystem landed (concurrency control schemes and displacement policies)
+are additionally asserted over a 2-worker localhost cluster, so the new
+spec fields provably survive the wire protocol with bit-identical results.
 
 A failure here means a change altered simulated trajectories.  Never
 "fix" it by regenerating the goldens unless the semantic change is
@@ -79,6 +86,28 @@ def test_workers2_metrics_bitwise_identical(name):
     golden = json.loads(_golden_path(name).read_text(encoding="utf-8"))
     spec = build_sweep(name, scale=ExperimentScale.smoke())
     result = run_sweep(spec, workers=2)
+    _assert_metrics_match_golden(result, golden)
+
+
+#: scenarios exercising the post-dist sweep dimensions (CCSpec on the cell
+#: specs, DisplacementPolicy/VictimCriterion): these must round-trip the
+#: wire protocol, so they are asserted over a real localhost cluster too
+DIST_PINNED_SCENARIOS = ("cc_compare", "displacement_policies")
+
+
+@pytest.mark.parametrize("name", DIST_PINNED_SCENARIOS)
+def test_dist_cluster_metrics_bitwise_identical(name):
+    """A 2-worker localhost cluster reproduces every cell's metrics exactly."""
+    from repro.dist.cluster import launch_local_cluster
+
+    golden = json.loads(_golden_path(name).read_text(encoding="utf-8"))
+    spec = build_sweep(name, scale=ExperimentScale.smoke())
+    with launch_local_cluster(workers=2) as cluster:
+        result = run_sweep(spec, executor=cluster)
+    _assert_metrics_match_golden(result, golden)
+
+
+def _assert_metrics_match_golden(result, golden):
     assert len(result.results) == len(golden["cells"])
     for golden_cell, cell in zip(golden["cells"], result.results):
         assert cell.cell_id == golden_cell["cell_id"]

@@ -29,9 +29,66 @@ TINY = ExperimentScale(
 class TestRegistry:
     def test_paper_scenarios_are_registered(self):
         names = available_scenarios()
-        for name in ("fig12_stationary", "fig13_is_jump", "fig14_pa_jump",
-                     "mixed_classes", "sinusoid", "thrashing"):
+        for name in ("cc_compare", "displacement_policies", "fig12_stationary",
+                     "fig13_is_jump", "fig14_pa_jump", "mixed_classes",
+                     "sinusoid", "thrashing"):
             assert name in names
+
+    def test_cc_compare_structure(self):
+        from repro.cc import CCSpec
+
+        sweep = build_sweep("cc_compare", scale=TINY)
+        # 2 schemes x (uncontrolled + IS) x offered loads
+        assert len(sweep) == 4 * len(TINY.offered_loads)
+        labels = {cell.label for cell in sweep.cells}
+        assert labels == {"OCC without control", "OCC IS control",
+                          "2PL without control", "2PL IS control"}
+        for cell in sweep.cells:
+            assert cell.kind == KIND_STATIONARY
+            assert isinstance(cell.cc, CCSpec)
+            expected = ("timestamp_cert" if cell.label.startswith("OCC")
+                        else "two_phase_locking")
+            assert cell.cc.kind == expected
+
+    def test_cc_compare_runs_both_schemes(self):
+        result = run_sweep("cc_compare", scale=TINY, workers=2)
+        assert len(result.results) == 4 * len(TINY.offered_loads)
+        assert all(r.metrics["throughput"] > 0 for r in result.results)
+        # 2PL resolves conflicts by blocking: at the light load of the tiny
+        # grid it should restart (deadlock) much more rarely than OCC aborts
+        occ = [r for r in result.results if r.label == "OCC without control"]
+        tpl = [r for r in result.results if r.label == "2PL without control"]
+        assert sum(r.metrics["restart_ratio"] for r in tpl) <= \
+            sum(r.metrics["restart_ratio"] for r in occ)
+
+    def test_cc_compare_victim_policy_override(self):
+        sweep = build_sweep("cc_compare", scale=TINY, victim_policy="oldest")
+        tpl_cells = [cell for cell in sweep.cells if cell.label.startswith("2PL")]
+        assert tpl_cells
+        for cell in tpl_cells:
+            assert dict(cell.cc.options)["victim_policy"] == "oldest"
+
+    def test_displacement_policies_structure(self):
+        from repro.core.displacement import DisplacementPolicy, VictimCriterion
+
+        sweep = build_sweep("displacement_policies", scale=TINY)
+        assert [cell.label for cell in sweep.cells] == \
+            ["no displacement"] + [criterion.value for criterion in VictimCriterion]
+        baseline, *policies = sweep.cells
+        assert baseline.displacement is None
+        for cell, criterion in zip(policies, VictimCriterion):
+            assert cell.kind == KIND_TRACKING
+            assert isinstance(cell.displacement, DisplacementPolicy)
+            assert cell.displacement.criterion is criterion
+            assert cell.displacement.hysteresis == 1.0
+
+    def test_displacement_policies_cells_report_displaced_metric(self):
+        result = run_sweep("displacement_policies", scale=TINY)
+        for cell in result.results:
+            if cell.label == "no displacement":
+                assert "displaced" not in cell.metrics
+            else:
+                assert cell.metrics["displaced"] >= 0.0
 
     def test_mixed_classes_structure(self):
         sweep = build_sweep("mixed_classes", scale=TINY)

@@ -2,7 +2,8 @@
 """Regenerate the golden trajectory fixtures under ``tests/golden/``.
 
 One JSON file per registry scenario (thrashing, fig12_stationary,
-fig13_is_jump, fig14_pa_jump, sinusoid), each produced by running every
+fig13_is_jump, fig14_pa_jump, sinusoid, mixed_classes, cc_compare,
+displacement_policies), each produced by running every
 cell of the scenario's smoke-scale sweep serially with the trajectory
 tracer installed.  A golden file pins, per cell:
 
@@ -52,7 +53,8 @@ from repro.sim.trace import TrajectoryTracer, tracing  # noqa: E402
 
 #: the scenarios pinned by the golden harness (== the full registry)
 GOLDEN_SCENARIOS = ("thrashing", "fig12_stationary", "fig13_is_jump",
-                    "fig14_pa_jump", "sinusoid", "mixed_classes")
+                    "fig14_pa_jump", "sinusoid", "mixed_classes",
+                    "cc_compare", "displacement_policies")
 
 #: bump when the golden file structure (not the trajectories) changes
 GOLDEN_FORMAT = 1
@@ -125,7 +127,7 @@ def main(argv=None) -> int:
     parser.add_argument("--out", type=Path, default=REPO_ROOT / "tests" / "golden",
                         help="output directory (default: tests/golden)")
     parser.add_argument("scenarios", nargs="*", default=list(GOLDEN_SCENARIOS),
-                        help="scenario subset to regenerate (default: all five)")
+                        help="scenario subset to regenerate (default: all)")
     args = parser.parse_args(argv)
 
     known = set(available_scenarios())

@@ -5,10 +5,15 @@ Dan et al. 1988 and Thomasian & Ryu 1990 for optimistic schemes) that models
 thrashing.  This package provides:
 
 * :mod:`repro.analytic.tay` -- the mean-value blocking model behind Tay's
-  ``k^2 n / D < 1.5`` rule of thumb;
+  ``k^2 n / D < 1.5`` rule of thumb, plus the absolute-throughput adapter
+  used as the model reference of locking-family series;
 * :mod:`repro.analytic.occ` -- a fixed-point model of the optimistic
   (certification) system used in the simulation, giving a fast analytical
   approximation of the load/throughput curve and its optimum;
+* :mod:`repro.analytic.references` -- the scheme-aware choice between the
+  two: locking-family schemes are referenced against Tay's model,
+  optimistic ones against the OCC fixed point, keyed off the CC registry's
+  family metadata;
 * :mod:`repro.analytic.synthetic` -- the "dynamic optimum search"
   abstraction of Section 3 / Figure 2 as an explicit, time-varying unimodal
   performance function with observation noise, used to unit-test and stress
@@ -19,13 +24,26 @@ thrashing.  This package provides:
 """
 
 from repro.analytic.occ import OccModel
+from repro.analytic.references import (
+    OCC_REFERENCE,
+    TAY_REFERENCE,
+    reference_family,
+    reference_model_for,
+    reference_model_name,
+)
 from repro.analytic.synthetic import DynamicOptimumScenario, SyntheticOverloadFunction, SyntheticSystem
-from repro.analytic.tay import TayModel
+from repro.analytic.tay import TayModel, TayThroughputModel
 from repro.analytic.thrashing import CurvePhases, classify_phases, find_optimum, thrashing_onset
 
 __all__ = [
     "OccModel",
     "TayModel",
+    "TayThroughputModel",
+    "TAY_REFERENCE",
+    "OCC_REFERENCE",
+    "reference_family",
+    "reference_model_for",
+    "reference_model_name",
     "SyntheticOverloadFunction",
     "SyntheticSystem",
     "DynamicOptimumScenario",

@@ -1,0 +1,69 @@
+"""Scheme-aware analytic references: which model explains which scheme.
+
+The paper's load-control argument leans on *two* analytic traditions
+(Section 1): Tay's mean-value blocking model for two-phase locking and the
+optimistic fixed-point models (Dan et al.; Thomasian & Ryu) for
+certification schemes.  The experiment layer used to compare every series
+against the OCC fixed point regardless of the scheme that produced it;
+with the concurrency control registry carrying a *family* per kind
+(:func:`repro.cc.registry.cc_family`), the reference can follow the
+scheme:
+
+* **locking** family (``two_phase_locking``, ``wound_wait``, ``wait_die``)
+  → :class:`~repro.analytic.tay.TayThroughputModel` (Tay's quadratic
+  blocking with a calibrated waiting share, adapted to absolute
+  throughput);
+* **optimistic** family (``timestamp_cert``, ``occ_forward``) and runs
+  without an explicit scheme → :class:`~repro.analytic.occ.OccModel`.
+
+:func:`reference_model_for` is the single decision point; the runner's
+sweep converters, the scenario goldens and the report tables all label
+series with the name it returns, so a reader of any table knows which
+first-order theory the ``model_reference`` column came from.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.analytic.occ import OccModel
+from repro.analytic.tay import TayThroughputModel
+from repro.cc.registry import CCSpec, cc_family
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.tp.params import SystemParams
+
+#: names reported for the two reference models
+TAY_REFERENCE = "TayModel"
+OCC_REFERENCE = "OccModel"
+
+
+def reference_family(cc: Optional[object]) -> str:
+    """The analytic family of a cell's ``cc`` field.
+
+    ``None`` (the system default, timestamp certification) and ad-hoc
+    factories — whose scheme class the runner cannot know — fall back to
+    the optimistic reference, matching the historical behaviour.
+    """
+    if isinstance(cc, CCSpec):
+        return cc_family(cc.kind)
+    return "optimistic"
+
+
+def reference_model_name(cc: Optional[object]) -> str:
+    """The reported name of the reference model for a cell's scheme."""
+    return TAY_REFERENCE if reference_family(cc) == "locking" else OCC_REFERENCE
+
+
+def reference_model_for(params: "SystemParams",
+                        cc: Optional[object]) -> Tuple[str, object]:
+    """Build the scheme-aware analytic reference for one cell.
+
+    Returns ``(name, model)`` where ``model`` offers ``throughput(mpl)``
+    and ``optimal_mpl()`` — the interface both
+    :class:`~repro.analytic.occ.OccModel` and
+    :class:`~repro.analytic.tay.TayThroughputModel` share.
+    """
+    if reference_family(cc) == "locking":
+        return TAY_REFERENCE, TayThroughputModel(params)
+    return OCC_REFERENCE, OccModel(params)

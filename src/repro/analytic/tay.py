@@ -32,7 +32,10 @@ qualitative behaviour -- quadratic growth of blocking, a finite optimal
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.tp.params import SystemParams, WorkloadParams
 
 
 @dataclass(frozen=True)
@@ -109,4 +112,81 @@ class TayModel:
             f"TayModel(D={self.db_size}, k={self.locks_per_txn}, "
             f"critical_mpl={self.critical_mpl():.1f}, "
             f"rule_of_thumb={self.rule_of_thumb_mpl():.1f})"
+        )
+
+
+class TayThroughputModel:
+    """Absolute-throughput adapter of :class:`TayModel` for one system.
+
+    :class:`TayModel` reasons in *relative* units (active transactions per
+    unit service rate); the experiment layer needs the same interface the
+    OCC fixed point offers — ``throughput(mpl)`` in committed transactions
+    per second and ``optimal_mpl()`` — so locking-family series can carry a
+    Tay-based model reference instead of the OCC one.
+
+    Calibration, both pieces read off the physical parameters:
+
+    * the **service rate** of one active (non-blocked) transaction is the
+      reciprocal of its uncontended cycle time (CPU + disk demand of the
+      ``k + 2`` phases); throughput is capped by the CPU capacity
+      ``m / cpu_demand`` exactly as in the OCC model's congestion step;
+    * the **waiting share** ``w`` — the fraction of residence time a
+      blocked transaction spends waiting — defaults to ``0.5``: a lock
+      request conflicts with a holder uniformly far through its execution,
+      so the victim waits the holder's mean residual residence, half a
+      cycle.  Override it to recalibrate against measured blocking.
+    """
+
+    def __init__(self, params: "SystemParams",
+                 workload: Optional["WorkloadParams"] = None,
+                 waiting_share: float = 0.5):
+        self.params = params
+        self.workload = workload or params.workload
+        w = self.workload
+        self.tay = TayModel(
+            db_size=w.db_size,
+            locks_per_txn=max(1, int(round(w.accesses_per_txn))),
+            waiting_share=waiting_share,
+        )
+        self._cpu_demand = (params.cpu_init
+                            + w.accesses_per_txn * params.cpu_per_access
+                            + params.cpu_commit)
+        self._disk_demand = w.accesses_per_txn * params.disk_per_access + params.disk_commit
+
+    # ------------------------------------------------------------------
+    def throughput(self, mpl: float) -> float:
+        """Committed transactions per second at multiprogramming level ``mpl``."""
+        cycle = self._cpu_demand + self._disk_demand
+        if mpl <= 0 or cycle <= 0:
+            return 0.0
+        active = self.tay.active_transactions(mpl)
+        rate = active / cycle
+        if self._cpu_demand > 0:
+            rate = min(rate, self.params.n_cpus / self._cpu_demand)
+        return rate
+
+    def throughput_curve(self, levels: Sequence[float]) -> list:
+        """Throughput at each level in ``levels``."""
+        return [self.throughput(level) for level in levels]
+
+    def optimal_mpl(self, resolution: int = 64) -> float:
+        """The *smallest* MPL that maximises the modelled throughput.
+
+        Active transactions ``a(n) = n - b(n)`` peak at the Tay critical
+        MPL, but the CPU capacity cap can flatten the curve earlier; a
+        coarse scan over ``[1, 1.5 * critical]`` returns the first
+        maximiser — the level a controller should hold, since any higher
+        one buys no throughput and more blocking.
+        """
+        upper = max(2.0, 1.5 * self.tay.critical_mpl())
+        levels = [1.0 + (upper - 1.0) * i / (resolution - 1) for i in range(resolution)]
+        values = [self.throughput(level) for level in levels]
+        peak = max(values)
+        return next(level for level, value in zip(levels, values)
+                    if value >= peak - 1e-12)
+
+    def __str__(self) -> str:
+        return (
+            f"TayThroughputModel({self.tay}, cycle="
+            f"{self._cpu_demand + self._disk_demand:.3f}s)"
         )

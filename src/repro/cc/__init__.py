@@ -5,15 +5,25 @@ The paper's simulation uses an optimistic *timestamp certification* scheme
 data contention is resolved by additional resource contention (restarts) and
 thrashing emerges naturally once the physical resources saturate.
 
-Two-phase locking with deadlock detection is also provided so that the
-blocking-CC class discussed in Section 1 (and by the Tay/Iyer rules of thumb)
-can be exercised by the same transaction model.
+The full family spans both classes discussed in Section 1 (and by the
+Tay/Iyer rules of thumb): the optimistic side adds *forward* validation
+(:mod:`repro.cc.occ_forward`), and the blocking side is the strict-2PL
+family of :mod:`repro.cc.two_phase_locking` — shared lock-table machinery
+with three conflict resolutions (waits-for deadlock detection, wound-wait,
+wait-die).
 
 The registry (:mod:`repro.cc.registry`) makes the scheme a sweepable
 dimension of the experiment grid: a picklable :class:`CCSpec` names a
-registered kind (``timestamp_cert``, ``two_phase_locking``) plus its
-options, and the runner builds the scheme inside the worker that runs the
-cell — exactly like controllers.
+registered kind (``timestamp_cert``, ``occ_forward``, ``two_phase_locking``,
+``wound_wait``, ``wait_die``) plus its options, and the runner builds the
+scheme inside the worker that runs the cell — exactly like controllers.
+Each kind carries a *family* (:func:`cc_family`) that selects its analytic
+reference (Tay's blocking model vs the OCC fixed point).
+
+:mod:`repro.cc.history` provides the opt-in serializability oracle: a
+recorder that observes any scheme through the ``ConcurrencyControl``
+surface plus a conflict-graph acyclicity checker over the committed
+history — the certification harness every registered scheme must pass.
 """
 
 from repro.cc.base import (
@@ -21,19 +31,51 @@ from repro.cc.base import (
     ConcurrencyControl,
     TransactionAborted,
 )
-from repro.cc.registry import CCSpec, cc_kinds, register_cc, resolve_cc
+from repro.cc.history import (
+    CommittedExecution,
+    HistoryRecorder,
+    RecordingConcurrencyControl,
+    SerializabilityVerdict,
+    check_serializability,
+    conflict_graph,
+)
+from repro.cc.occ_forward import OccForwardValidation
+from repro.cc.registry import (
+    CCSpec,
+    cc_family,
+    cc_kinds,
+    register_cc,
+    resolve_cc,
+)
 from repro.cc.timestamp_cert import TimestampCertification
-from repro.cc.two_phase_locking import LockMode, TwoPhaseLocking
+from repro.cc.two_phase_locking import (
+    LockingScheme,
+    LockMode,
+    TwoPhaseLocking,
+    WaitDieLocking,
+    WoundWaitLocking,
+)
 
 __all__ = [
     "AbortReason",
     "ConcurrencyControl",
     "TransactionAborted",
     "TimestampCertification",
+    "OccForwardValidation",
+    "LockingScheme",
     "TwoPhaseLocking",
+    "WoundWaitLocking",
+    "WaitDieLocking",
     "LockMode",
     "CCSpec",
+    "cc_family",
     "cc_kinds",
     "register_cc",
     "resolve_cc",
+    "HistoryRecorder",
+    "RecordingConcurrencyControl",
+    "CommittedExecution",
+    "SerializabilityVerdict",
+    "check_serializability",
+    "conflict_graph",
 ]

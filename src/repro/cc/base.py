@@ -11,7 +11,11 @@ scheme through five hooks:
     a simulation event the caller must wait on (the lock grant); optimistic
     schemes return ``None`` and merely record the access.  The event may fail
     with :class:`TransactionAborted` (e.g. a deadlock victim), in which case
-    the transaction must abort its current execution.
+    the transaction must abort its current execution.  ``access`` may also
+    *raise* :class:`TransactionAborted` synchronously — the
+    deadlock-avoiding 2PL variants abort a doomed request at request time
+    (wait-die) or deliver a pending wound before the access happens
+    (wound-wait) instead of ever enqueueing it.
 ``try_commit``
     The transaction finished its last phase and asks to commit.  Returns
     ``True`` (commit) or ``False`` (certification failed; the transaction
@@ -37,11 +41,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 
 
 class AbortReason(enum.Enum):
-    """Why a transaction execution was abandoned."""
+    """Why a transaction execution was abandoned.
+
+    ``CERTIFICATION``, ``DEADLOCK`` and ``DISPLACEMENT`` are the original
+    reasons of the paper's model.  ``WOUND`` and ``DIE`` are the
+    *restart-family* reasons of the timestamp-priority 2PL variants: a
+    wound-wait victim is aborted by an older transaction that wants its
+    lock, a wait-die victim aborts itself rather than wait for an older
+    lock holder.  Neither involves a waits-for cycle, so reporting them
+    separately from ``DEADLOCK`` keeps the restart behaviour of the
+    deadlock-*avoiding* schemes visible in sweep results.
+    """
 
     CERTIFICATION = "certification"
     DEADLOCK = "deadlock"
     DISPLACEMENT = "displacement"
+    WOUND = "wound"
+    DIE = "die"
 
 
 class TransactionAborted(Exception):

@@ -1,0 +1,280 @@
+"""History-based serializability oracle for concurrency control schemes.
+
+The isolation-testing literature (HISTEX; AWDIT) argues that the way to
+trust a *family* of concurrency control schemes is not per-scheme
+hand-written assertions but a checker that works on the recorded history:
+record what every transaction actually read, wrote and committed, then
+decide from the history alone whether the committed transactions are
+(conflict-)serializable.  A scheme added to the registry is then certified
+by exactly the same oracle as the existing ones.
+
+Two pieces:
+
+* :class:`RecordingConcurrencyControl` — an opt-in decorator around any
+  :class:`~repro.cc.base.ConcurrencyControl` that observes the scheme
+  through its public surface only (``begin`` / ``access`` / ``try_commit``
+  / ``finish`` / ``abort``) and feeds a :class:`HistoryRecorder`.  Reads
+  are recorded when they *happen*: immediately for non-blocking schemes,
+  at the lock **grant** (not the request) for blocking ones — the wrapper
+  registers a callback on the returned wait event and skips requests that
+  fail.  Aborted executions leave no trace; only the committed execution
+  of each transaction enters the history.
+* :func:`check_serializability` — builds the conflict graph over the
+  committed executions and reports a cycle if one exists.
+
+**Operation timing model.**  Reads take effect at the recorded grant time.
+Writes take effect at the writer's *commit*: optimistic schemes buffer
+their writes until commit by definition, and under **strict** 2PL the
+exclusive lock is held until commit, so no other transaction can observe
+the granule between the write access and the release either way.  Two
+operations on the same granule conflict if they come from different
+transactions and at least one is a write; the conflict edge points from
+the operation that took effect first (ties broken by the deterministic
+record sequence number, which follows the engine's processing order).
+Committed transactions are serializable iff this graph is acyclic —
+:func:`check_serializability` returns the verdict plus a witness cycle
+for post-mortems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cc.base import AbortReason, ConcurrencyControl
+from repro.sim.engine import Event
+
+#: one read operation: (granule, time it took effect, record sequence)
+ReadOp = Tuple[int, float, int]
+
+
+@dataclass(frozen=True)
+class CommittedExecution:
+    """The committed execution of one transaction, as recorded."""
+
+    txn_id: int
+    #: reads in the order they took effect (granule, time, sequence)
+    reads: Tuple[ReadOp, ...]
+    #: granules written; they take effect at (commit_time, commit_seq)
+    writes: Tuple[int, ...]
+    commit_time: float
+    commit_seq: int
+
+
+@dataclass
+class HistoryRecorder:
+    """Accumulates the committed history of one simulation run."""
+
+    committed: List[CommittedExecution] = field(default_factory=list)
+    #: executions that were begun (committed or not) — exposes coverage
+    executions: int = 0
+    _seq: int = 0
+    _reads: Dict[int, List[ReadOp]] = field(default_factory=dict)
+    _writes: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def next_seq(self) -> int:
+        """A fresh, strictly increasing record sequence number."""
+        self._seq += 1
+        return self._seq
+
+    def start_execution(self, txn_id: int) -> None:
+        """A (re-)execution begins: discard the previous attempt's ops."""
+        self.executions += 1
+        self._reads[txn_id] = []
+        self._writes[txn_id] = set()
+
+    def record_read(self, txn_id: int, item: int, time: float) -> None:
+        """A read of ``item`` took effect (immediately or at lock grant)."""
+        ops = self._reads.get(txn_id)
+        if ops is not None:
+            ops.append((item, time, self.next_seq()))
+
+    def record_write_intent(self, txn_id: int, item: int) -> None:
+        """The execution will write ``item`` (effective at its commit)."""
+        writes = self._writes.get(txn_id)
+        if writes is not None:
+            writes.add(item)
+
+    def record_commit(self, txn_id: int, time: float) -> None:
+        """The current execution committed: freeze it into the history."""
+        reads = self._reads.pop(txn_id, [])
+        writes = self._writes.pop(txn_id, set())
+        self.committed.append(CommittedExecution(
+            txn_id=txn_id,
+            reads=tuple(reads),
+            writes=tuple(sorted(writes)),
+            commit_time=time,
+            commit_seq=self.next_seq(),
+        ))
+
+    def record_abort(self, txn_id: int) -> None:
+        """The current execution aborted: it never happened."""
+        self._reads.pop(txn_id, None)
+        self._writes.pop(txn_id, None)
+
+    def clear(self) -> None:
+        """Forget the whole history (a new repetition starts from nothing)."""
+        self.committed.clear()
+        self.executions = 0
+        self._seq = 0
+        self._reads.clear()
+        self._writes.clear()
+
+
+class RecordingConcurrencyControl(ConcurrencyControl):
+    """Wrap a scheme and record the history it admits (opt-in, tests only).
+
+    Pure observation through the :class:`~repro.cc.base.ConcurrencyControl`
+    surface: every call is delegated unchanged, so the wrapped scheme makes
+    exactly the decisions it would make unobserved.  (The grant callbacks
+    the wrapper registers run at the same simulated instant as the grant
+    and do not reorder any event.)
+    """
+
+    def __init__(self, inner: ConcurrencyControl, recorder: HistoryRecorder):
+        self.inner = inner
+        self.recorder = recorder
+        self.name = f"recorded({inner.name})"
+
+    # ------------------------------------------------------------------
+    def begin(self, txn) -> None:
+        self.recorder.start_execution(txn.txn_id)
+        self.inner.begin(txn)
+
+    def access(self, txn, item: int, is_write: bool) -> Optional[Event]:
+        # delegate first: blocking schemes may raise TransactionAborted
+        # (wait-die / a delivered wound), in which case nothing happened
+        grant = self.inner.access(txn, item, is_write)
+        recorder = self.recorder
+        txn_id = txn.txn_id
+        if is_write:
+            recorder.record_write_intent(txn_id, item)
+        if grant is None:
+            recorder.record_read(txn_id, item, self.inner.sim.now)
+            return None
+
+        def on_grant(event: Event) -> None:
+            if event.ok:  # a failed grant is an abort, not a read
+                recorder.record_read(txn_id, item, event.sim.now)
+
+        grant.add_callback(on_grant)
+        return grant
+
+    def try_commit(self, txn) -> bool:
+        return self.inner.try_commit(txn)
+
+    def finish(self, txn) -> None:
+        self.inner.finish(txn)
+        self.recorder.record_commit(txn.txn_id, self.inner.sim.now)
+
+    def abort(self, txn, reason: AbortReason) -> None:
+        self.inner.abort(txn, reason)
+        self.recorder.record_abort(txn.txn_id)
+
+    def active_count(self) -> int:
+        return self.inner.active_count()
+
+    def reset(self) -> None:
+        """Reset scheme AND recorder: repetitions must not share a history.
+
+        Run 1's operation times would otherwise interleave with run 2's
+        (the clock restarts) and fabricate cross-run conflict edges —
+        harvest ``recorder.committed`` *before* resetting.
+        """
+        self.inner.reset()
+        self.recorder.clear()
+
+
+@dataclass(frozen=True)
+class SerializabilityVerdict:
+    """Outcome of a conflict-graph check over a committed history."""
+
+    serializable: bool
+    #: a witness cycle of txn_ids (first repeated at the end) if not
+    cycle: Tuple[int, ...] = ()
+    transactions: int = 0
+    edges: int = 0
+
+    def __bool__(self) -> bool:
+        return self.serializable
+
+
+def conflict_graph(history: Sequence[CommittedExecution]) -> Dict[int, Set[int]]:
+    """The conflict graph of a committed history (adjacency sets).
+
+    Nodes are txn_ids; an edge ``a -> b`` means an operation of ``a`` took
+    effect before a conflicting operation of ``b`` on the same granule,
+    so ``a`` must precede ``b`` in any equivalent serial order.
+    """
+    #: granule -> [(time, seq, txn_id, is_write)]
+    ops_by_item: Dict[int, List[Tuple[float, int, int, bool]]] = {}
+    for execution in history:
+        write_effect = (execution.commit_time, execution.commit_seq)
+        for item, time, seq in execution.reads:
+            ops_by_item.setdefault(item, []).append(
+                (time, seq, execution.txn_id, False))
+        for item in execution.writes:
+            ops_by_item.setdefault(item, []).append(
+                (*write_effect, execution.txn_id, True))
+
+    graph: Dict[int, Set[int]] = {execution.txn_id: set() for execution in history}
+    for ops in ops_by_item.values():
+        ops.sort()  # by (time, seq): the order the operations took effect
+        for index, (_t, _s, earlier_txn, earlier_write) in enumerate(ops):
+            for _t2, _s2, later_txn, later_write in ops[index + 1:]:
+                if later_txn != earlier_txn and (earlier_write or later_write):
+                    graph[earlier_txn].add(later_txn)
+    return graph
+
+
+def check_serializability(
+        history: Sequence[CommittedExecution]) -> SerializabilityVerdict:
+    """Decide conflict-serializability of a committed history.
+
+    Returns a :class:`SerializabilityVerdict`; when the conflict graph has
+    a cycle the verdict carries one witness cycle (txn_ids, the first node
+    repeated at the end) so a failing scheme can be debugged from the
+    test output.
+    """
+    graph = conflict_graph(history)
+    edge_count = sum(len(successors) for successors in graph.values())
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in graph}
+    parent: Dict[int, Optional[int]] = {}
+
+    def cycle_from(start: int, end: int) -> Tuple[int, ...]:
+        path = [end]
+        node = end
+        while node != start:
+            node = parent[node]
+            path.append(node)
+        path.reverse()
+        return tuple(path) + (path[0],)
+
+    for root in graph:
+        if colour[root] != WHITE:
+            continue
+        parent[root] = None
+        stack: List[Tuple[int, List[int]]] = [(root, sorted(graph[root]))]
+        colour[root] = GREY
+        while stack:
+            node, successors = stack[-1]
+            if not successors:
+                colour[node] = BLACK
+                stack.pop()
+                continue
+            successor = successors.pop(0)
+            if colour[successor] == GREY:
+                return SerializabilityVerdict(
+                    serializable=False,
+                    cycle=cycle_from(successor, node),
+                    transactions=len(graph),
+                    edges=edge_count,
+                )
+            if colour[successor] == WHITE:
+                parent[successor] = node
+                colour[successor] = GREY
+                stack.append((successor, sorted(graph[successor])))
+    return SerializabilityVerdict(
+        serializable=True, transactions=len(graph), edges=edge_count)

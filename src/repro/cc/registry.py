@@ -9,18 +9,33 @@ scheme from this registry plus its constructor options, and the scheme
 instance is built inside the worker that runs the cell, bound to that
 cell's simulator.
 
-Two schemes are registered out of the box:
+Five schemes are registered out of the box, spanning the two *families* the
+paper's Section 1 distinguishes:
 
-* ``timestamp_cert`` — the paper's optimistic timestamp certification
-  (:class:`~repro.cc.timestamp_cert.TimestampCertification`), the default
-  of every run that does not name a scheme;
-* ``two_phase_locking`` — strict 2PL with deadlock detection
-  (:class:`~repro.cc.two_phase_locking.TwoPhaseLocking`), the blocking
-  representative; accepts ``victim_policy`` (``youngest`` / ``oldest`` /
-  ``fewest_locks``).
+* ``timestamp_cert`` (optimistic) — the paper's backward-oriented timestamp
+  certification (:class:`~repro.cc.timestamp_cert.TimestampCertification`),
+  the default of every run that does not name a scheme;
+* ``occ_forward`` (optimistic) — optimistic with *forward* validation
+  against the read sets of running transactions
+  (:class:`~repro.cc.occ_forward.OccForwardValidation`);
+* ``two_phase_locking`` (locking) — strict 2PL with waits-for deadlock
+  detection (:class:`~repro.cc.two_phase_locking.TwoPhaseLocking`);
+  accepts ``victim_policy`` (``youngest`` / ``oldest`` / ``fewest_locks``);
+* ``wound_wait`` (locking) — deadlock-avoiding timestamp-priority 2PL:
+  older requesters wound younger lock owners
+  (:class:`~repro.cc.two_phase_locking.WoundWaitLocking`);
+* ``wait_die`` (locking) — deadlock-avoiding timestamp-priority 2PL:
+  younger requesters abort themselves instead of waiting
+  (:class:`~repro.cc.two_phase_locking.WaitDieLocking`).
+
+The family (:func:`cc_family`) is what the analytic layer keys on: locking
+schemes are referenced against Tay's mean-value blocking model, optimistic
+schemes against the OCC fixed point (see
+:func:`repro.analytic.references.reference_model_for`).
 
 ``register_cc`` extends the registry the same way ``register_controller``
-and ``register_scenario`` do.
+and ``register_scenario`` do; pass ``family="locking"`` for blocking
+schemes (the default, ``"optimistic"``, keeps the OCC reference).
 """
 
 from __future__ import annotations
@@ -29,8 +44,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.cc.base import ConcurrencyControl
+from repro.cc.occ_forward import OccForwardValidation
 from repro.cc.timestamp_cert import TimestampCertification
-from repro.cc.two_phase_locking import TwoPhaseLocking
+from repro.cc.two_phase_locking import (
+    TwoPhaseLocking,
+    WaitDieLocking,
+    WoundWaitLocking,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.sim.engine import Simulator
@@ -38,16 +58,29 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 #: a CC builder receives the cell's simulator plus the spec's options
 CCBuilder = Callable[..., ConcurrencyControl]
 
+#: the scheme families the analytic references distinguish
+CC_FAMILIES = ("optimistic", "locking")
+
 _CC_BUILDERS: Dict[str, CCBuilder] = {}
+_CC_FAMILIES: Dict[str, str] = {}
 
 
-def register_cc(kind: str) -> Callable[[CCBuilder], CCBuilder]:
-    """Register a concurrency control builder under ``kind`` (decorator)."""
+def register_cc(kind: str, family: str = "optimistic") -> Callable[[CCBuilder], CCBuilder]:
+    """Register a concurrency control builder under ``kind`` (decorator).
+
+    ``family`` classifies the scheme for the analytic layer: ``"locking"``
+    schemes are compared against Tay's blocking model, ``"optimistic"``
+    ones (the default) against the OCC fixed point.
+    """
+    if family not in CC_FAMILIES:
+        raise ValueError(
+            f"unknown cc family {family!r}; expected one of {CC_FAMILIES}")
 
     def decorator(builder: CCBuilder) -> CCBuilder:
         if kind in _CC_BUILDERS:
             raise ValueError(f"cc kind {kind!r} is already registered")
         _CC_BUILDERS[kind] = builder
+        _CC_FAMILIES[kind] = family
         return builder
 
     return decorator
@@ -56,6 +89,15 @@ def register_cc(kind: str) -> Callable[[CCBuilder], CCBuilder]:
 def cc_kinds() -> Tuple[str, ...]:
     """All registered concurrency control kinds."""
     return tuple(sorted(_CC_BUILDERS))
+
+
+def cc_family(kind: str) -> str:
+    """The family (``"locking"`` / ``"optimistic"``) of a registered kind."""
+    family = _CC_FAMILIES.get(kind)
+    if family is None:
+        raise KeyError(
+            f"unknown cc kind {kind!r}; available: {', '.join(cc_kinds())}")
+    return family
 
 
 @dataclass(frozen=True)
@@ -116,11 +158,26 @@ def resolve_cc(cc: Optional[object], sim: "Simulator") -> Optional[ConcurrencyCo
 # ----------------------------------------------------------------------
 # built-in schemes
 # ----------------------------------------------------------------------
-@register_cc("timestamp_cert")
+@register_cc("timestamp_cert", family="optimistic")
 def _build_timestamp_cert(sim: "Simulator", **options) -> ConcurrencyControl:
     return TimestampCertification(sim, **options)
 
 
-@register_cc("two_phase_locking")
+@register_cc("occ_forward", family="optimistic")
+def _build_occ_forward(sim: "Simulator", **options) -> ConcurrencyControl:
+    return OccForwardValidation(sim, **options)
+
+
+@register_cc("two_phase_locking", family="locking")
 def _build_two_phase_locking(sim: "Simulator", **options) -> ConcurrencyControl:
     return TwoPhaseLocking(sim, **options)
+
+
+@register_cc("wound_wait", family="locking")
+def _build_wound_wait(sim: "Simulator", **options) -> ConcurrencyControl:
+    return WoundWaitLocking(sim, **options)
+
+
+@register_cc("wait_die", family="locking")
+def _build_wait_die(sim: "Simulator", **options) -> ConcurrencyControl:
+    return WaitDieLocking(sim, **options)

@@ -1,13 +1,31 @@
-"""Strict two-phase locking with waits-for-graph deadlock detection.
+"""The strict two-phase locking family: shared machinery, three resolutions.
 
 The paper distinguishes two classes of concurrency control (Section 1):
 blocking schemes (two-phase locking), for which Tay et al. (1985) derive the
 quadratic blocking behaviour, and non-blocking schemes (timestamp
 certification), which the paper's own simulation uses.  The load control
 algorithms are claimed to be applicable to both classes, so this module
-provides the blocking representative.
+provides the blocking representatives.
 
-Design:
+All members of the family share the same lock table, FCFS queue and grant
+machinery (:class:`LockingScheme`); they differ *only* in how a conflict is
+resolved when a request cannot be granted (the :meth:`LockingScheme._block`
+hook):
+
+* :class:`TwoPhaseLocking` — *deadlock detection*: the request waits, a
+  waits-for graph is checked for cycles, and a victim on each cycle is
+  aborted (``victim_policy``: ``youngest`` / ``oldest`` / ``fewest_locks``);
+* :class:`WoundWaitLocking` — *wound-wait* (Rosenkrantz et al. 1978): an
+  older requester wounds every younger conflicting transaction (the victim
+  aborts with :attr:`~repro.cc.base.AbortReason.WOUND`) and then waits; a
+  younger requester simply waits.  Deadlock-free: persistent wait edges run
+  young → old only, and a wounded transaction never enters a wait;
+* :class:`WaitDieLocking` — *wait-die*: an older requester waits, a younger
+  requester aborts itself immediately
+  (:attr:`~repro.cc.base.AbortReason.DIE`).  Deadlock-free: wait edges run
+  old → young only.
+
+Shared machinery:
 
 * a lock table maps each granule to its holders (with their modes) and an
   FCFS queue of waiting requests;
@@ -15,11 +33,18 @@ Design:
   sole ownership; lock upgrades (S -> X) are supported and take priority
   over waiting requests from other transactions;
 * waiting requests are represented as simulation events so a blocked
-  transaction simply ``yield``s on the grant;
-* a waits-for graph is maintained incrementally; a cycle check runs whenever
-  a transaction blocks, and the *youngest* transaction on the cycle is
-  aborted (its pending request event fails with
-  :class:`~repro.cc.base.TransactionAborted`).
+  transaction simply ``yield``s on the grant (or has
+  :class:`~repro.cc.base.TransactionAborted` thrown into it).
+
+The timestamp-priority variants order transactions by their *first* start:
+a restarted execution keeps its original priority, so a victim ages into
+the oldest transaction and cannot starve.  Wounds are delivered immediately
+to blocked victims (their wait event fails) and lazily to running ones (the
+victim aborts at its next ``access``); a wounded transaction that reaches
+its commit point without another access is allowed to commit — strict 2PL
+already guarantees serializability, wounding exists purely to keep the
+waits-for graph acyclic, and a committing victim releases its locks just as
+fast as an aborting one.
 """
 
 from __future__ import annotations
@@ -61,27 +86,30 @@ class _LockState:
     waiters: Deque[_LockRequest] = field(default_factory=deque)
 
 
-class TwoPhaseLocking(ConcurrencyControl):
-    """Strict two-phase locking (blocking CC) with deadlock detection."""
+class LockingScheme(ConcurrencyControl):
+    """Shared lock-table machinery of the strict 2PL family.
 
-    name = "two-phase-locking"
+    Subclasses implement exactly one decision — :meth:`_block`, called when
+    a request is incompatible with the current holders/queue — and inherit
+    the grant, upgrade, release and cancellation mechanics unchanged, so
+    the variants differ only in conflict resolution, never in lock
+    semantics.
+    """
 
-    def __init__(self, sim: Simulator, victim_policy: str = "youngest"):
-        if victim_policy not in ("youngest", "oldest", "fewest_locks"):
-            raise ValueError(f"unknown victim policy {victim_policy!r}")
+    name = "locking"
+
+    def __init__(self, sim: Simulator):
         self.sim = sim
-        self.victim_policy = victim_policy
         self._locks: Dict[int, _LockState] = {}
         #: txn_id -> set of granules it currently holds locks on
         self._held: Dict[int, Set[int]] = {}
         #: txn_id -> granule it is currently waiting for (at most one)
         self._waiting_for_item: Dict[int, int] = {}
-        #: txn_id -> start time (for victim selection)
+        #: txn_id -> start time of the current execution
         self._start_time: Dict[int, float] = {}
         # statistics
         self.lock_requests = 0
         self.lock_waits = 0
-        self.deadlocks = 0
 
     # ------------------------------------------------------------------
     # ConcurrencyControl interface
@@ -133,10 +161,24 @@ class TwoPhaseLocking(ConcurrencyControl):
         self._start_time.clear()
         self.lock_requests = 0
         self.lock_waits = 0
-        self.deadlocks = 0
 
     # ------------------------------------------------------------------
-    # lock table mechanics
+    # conflict resolution hook
+    # ------------------------------------------------------------------
+    def _block(self, txn_id: int, item: int, mode: LockMode,
+               state: _LockState) -> Optional[Event]:
+        """Resolve a conflict: the request cannot be granted right now.
+
+        Implementations may enqueue the request and return its wait event
+        (possibly after sacrificing other transactions), or raise
+        :class:`~repro.cc.base.TransactionAborted` to abort the requester
+        itself.  Returning ``None`` means the conflict disappeared and the
+        lock was granted after all (wound-wait after clearing the queue).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # lock table mechanics (shared by every variant)
     # ------------------------------------------------------------------
     @property
     def blocked_count(self) -> int:
@@ -151,6 +193,29 @@ class TwoPhaseLocking(ConcurrencyControl):
     def _acquire(self, txn_id: int, item: int, mode: LockMode) -> Optional[Event]:
         self.lock_requests += 1
         state = self._locks.setdefault(item, _LockState())
+        return self._grant_or(txn_id, item, mode, state, self._block)
+
+    def _try_grant(self, txn_id: int, item: int, mode: LockMode,
+                   state: _LockState) -> Optional[Event]:
+        """Re-run the grant decision (no request counting) or enqueue.
+
+        Used by conflict resolutions that may have *changed* the lock state
+        (wound-wait cancelling queued victims) and must re-check whether
+        the request became grantable before committing to a wait.  Falls
+        back to a plain enqueue — re-entering the conflict resolution here
+        could recurse forever.
+        """
+        return self._grant_or(txn_id, item, mode, state, self._enqueue)
+
+    def _grant_or(self, txn_id: int, item: int, mode: LockMode,
+                  state: _LockState, blocked) -> Optional[Event]:
+        """The one grant/upgrade decision; ``blocked`` handles conflicts.
+
+        A single body keeps the family's promise that the variants differ
+        only in conflict resolution: the held-mode short-circuit, the
+        sole-holder upgrade and the compatibility grant cannot drift apart
+        between the first attempt and wound-wait's re-check.
+        """
         held_mode = state.holders.get(txn_id)
         if held_mode is not None:
             if held_mode == LockMode.EXCLUSIVE or mode == LockMode.SHARED:
@@ -159,12 +224,12 @@ class TwoPhaseLocking(ConcurrencyControl):
             if len(state.holders) == 1:
                 state.holders[txn_id] = LockMode.EXCLUSIVE
                 return None
-            return self._enqueue(txn_id, item, mode, state)
+            return blocked(txn_id, item, mode, state)
         if self._compatible(state, mode):
             state.holders[txn_id] = mode
             self._held.setdefault(txn_id, set()).add(item)
             return None
-        return self._enqueue(txn_id, item, mode, state)
+        return blocked(txn_id, item, mode, state)
 
     def _compatible(self, state: _LockState, mode: LockMode) -> bool:
         if not state.holders:
@@ -177,24 +242,11 @@ class TwoPhaseLocking(ConcurrencyControl):
         return False
 
     def _enqueue(self, txn_id: int, item: int, mode: LockMode, state: _LockState) -> Event:
+        """Append a waiting request and return its grant event."""
         self.lock_waits += 1
         event = Event(self.sim)
         state.waiters.append(_LockRequest(txn_id, mode, event))
         self._waiting_for_item[txn_id] = item
-        # A single block can close SEVERAL cycles at once: the FCFS edges
-        # (waiting for earlier waiters of the same granule) run in parallel
-        # to the direct holder edges, so aborting the victim of the first
-        # cycle found may leave another cycle through the same granule
-        # intact — and no further blocking event would ever re-trigger
-        # detection for it.  Re-detect until the requester's reachable
-        # graph is cycle-free (each round aborts one waiter, so this
-        # terminates); once the requester itself is sacrificed it no longer
-        # waits and the loop ends naturally.
-        victim = self._detect_deadlock(txn_id)
-        while victim is not None:
-            self.deadlocks += 1
-            self._abort_waiter(victim, item_hint=item)
-            victim = self._detect_deadlock(txn_id)
         return event
 
     def _release_all(self, txn_id: int) -> None:
@@ -239,6 +291,81 @@ class TwoPhaseLocking(ConcurrencyControl):
             if request.txn_id == txn_id and not request.cancelled:
                 request.cancelled = True
         self._grant_waiters(item, state)
+
+    def _fail_waiter(self, txn_id: int, item: int, error: TransactionAborted) -> bool:
+        """Fail a victim's pending request so its process aborts itself."""
+        state = self._locks.get(item)
+        if state is None:
+            return False
+        for request in state.waiters:
+            if request.txn_id == txn_id and not request.cancelled:
+                request.cancelled = True
+                self._waiting_for_item.pop(txn_id, None)
+                request.event.fail(error)
+                self._grant_waiters(item, state)
+                return True
+        return False
+
+    def _blockers_of(self, txn_id: int, state: _LockState) -> list:
+        """The transactions a fresh request on ``state`` would wait for.
+
+        Holders other than the requester plus every queued (non-cancelled)
+        waiter: FCFS means a new request also waits for everything already
+        in the queue.  Deduplicated (order-preserving): a transaction that
+        both holds the granule and queues for an upgrade is one blocker,
+        so wound-wait sacrifices — and counts — it exactly once.
+        """
+        blockers = dict.fromkeys(t for t in state.holders if t != txn_id)
+        for request in state.waiters:
+            if not request.cancelled and request.txn_id != txn_id:
+                blockers[request.txn_id] = None
+        return list(blockers)
+
+
+class TwoPhaseLocking(LockingScheme):
+    """Strict two-phase locking (blocking CC) with deadlock detection.
+
+    Conflict resolution: the request always waits; a waits-for graph is
+    maintained incrementally, a cycle check runs whenever a transaction
+    blocks, and a victim on the cycle (selected by ``victim_policy``) is
+    aborted — its pending request event fails with
+    :class:`~repro.cc.base.TransactionAborted`.
+    """
+
+    name = "two-phase-locking"
+
+    def __init__(self, sim: Simulator, victim_policy: str = "youngest"):
+        if victim_policy not in ("youngest", "oldest", "fewest_locks"):
+            raise ValueError(f"unknown victim policy {victim_policy!r}")
+        super().__init__(sim)
+        self.victim_policy = victim_policy
+        self.deadlocks = 0
+
+    def reset(self) -> None:
+        """Drop the whole lock table (between experiment repetitions)."""
+        super().reset()
+        self.deadlocks = 0
+
+    # ------------------------------------------------------------------
+    # conflict resolution: wait, then hunt for cycles
+    # ------------------------------------------------------------------
+    def _block(self, txn_id: int, item: int, mode: LockMode, state: _LockState) -> Event:
+        event = self._enqueue(txn_id, item, mode, state)
+        # A single block can close SEVERAL cycles at once: the FCFS edges
+        # (waiting for earlier waiters of the same granule) run in parallel
+        # to the direct holder edges, so aborting the victim of the first
+        # cycle found may leave another cycle through the same granule
+        # intact — and no further blocking event would ever re-trigger
+        # detection for it.  Re-detect until the requester's reachable
+        # graph is cycle-free (each round aborts one waiter, so this
+        # terminates); once the requester itself is sacrificed it no longer
+        # waits and the loop ends naturally.
+        victim = self._detect_deadlock(txn_id)
+        while victim is not None:
+            self.deadlocks += 1
+            self._abort_waiter(victim, item_hint=item)
+            victim = self._detect_deadlock(txn_id)
+        return event
 
     # ------------------------------------------------------------------
     # deadlock handling
@@ -296,15 +423,159 @@ class TwoPhaseLocking(ConcurrencyControl):
     def _abort_waiter(self, txn_id: int, item_hint: int) -> None:
         """Fail the victim's pending request so its process aborts itself."""
         item = self._waiting_for_item.get(txn_id, item_hint)
-        state = self._locks.get(item)
-        if state is None:
-            return
-        for request in state.waiters:
-            if request.txn_id == txn_id and not request.cancelled:
-                request.cancelled = True
-                self._waiting_for_item.pop(txn_id, None)
-                request.event.fail(
-                    TransactionAborted(AbortReason.DEADLOCK, f"victim of deadlock on granule {item}")
-                )
-                self._grant_waiters(item, state)
-                return
+        self._fail_waiter(txn_id, item, TransactionAborted(
+            AbortReason.DEADLOCK, f"victim of deadlock on granule {item}"))
+
+
+class _TimestampPriorityLocking(LockingScheme):
+    """Common base of the deadlock-*avoiding* timestamp-priority variants.
+
+    Every transaction receives a priority when it first begins — a monotone
+    counter, so "older" is well defined even when two executions start at
+    the same simulated instant — and *keeps it across restarts*: a victim
+    ages until it is the oldest transaction in the system, which is what
+    makes wound-wait and wait-die starvation-free.
+    """
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim)
+        #: txn_id -> priority (smaller = older); survives restarts
+        self._priority: Dict[int, int] = {}
+        self._next_priority = 0
+
+    def begin(self, txn: "Transaction") -> None:
+        """Register the execution; first-ever begin assigns the priority."""
+        super().begin(txn)
+        if txn.txn_id not in self._priority:
+            self._priority[txn.txn_id] = self._next_priority
+            self._next_priority += 1
+
+    def finish(self, txn: "Transaction") -> None:
+        """Release locks and retire the committed transaction's priority."""
+        super().finish(txn)
+        self._priority.pop(txn.txn_id, None)
+
+    def abort(self, txn: "Transaction", reason: AbortReason) -> None:
+        """Release locks; keep the priority so a restarting victim ages.
+
+        Displacement is the exception: the transaction leaves by controller
+        decision, not by losing a conflict, and may never come back
+        (``resubmit_displaced=False``) — retiring the priority there keeps
+        the table bounded.  A resubmitted displaced transaction simply
+        starts over as the youngest, which costs it fairness it was not
+        owed: it was never a wound/die victim.
+        """
+        super().abort(txn, reason)
+        if reason is AbortReason.DISPLACEMENT:
+            self._priority.pop(txn.txn_id, None)
+
+    def reset(self) -> None:
+        super().reset()
+        self._priority.clear()
+        self._next_priority = 0
+
+    def priority_of(self, txn_id: int) -> Optional[int]:
+        """The transaction's priority (smaller = older), if it has one."""
+        return self._priority.get(txn_id)
+
+
+class WoundWaitLocking(_TimestampPriorityLocking):
+    """Wound-wait 2PL: an older requester wounds younger conflicting txns.
+
+    On conflict, every conflicting transaction *younger* than the requester
+    is wounded: a blocked victim has its wait event failed immediately, a
+    running victim is marked and aborts at its next ``access`` (it never
+    enters another wait).  The requester then re-checks the — possibly
+    cleared — queue and waits if still necessary; a requester younger than
+    all conflicting transactions simply waits.  No waits-for graph is ever
+    built: persistent wait edges run young → old only, so cycles cannot
+    form.
+    """
+
+    name = "wound-wait"
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim)
+        #: running transactions with a pending wound (die at next access)
+        self._wounded: Set[int] = set()
+        self.wounds = 0
+
+    def access(self, txn: "Transaction", item: int, is_write: bool) -> Optional[Event]:
+        """Deliver a pending wound before the access happens."""
+        if txn.txn_id in self._wounded:
+            raise TransactionAborted(
+                AbortReason.WOUND,
+                f"wound delivered before access to granule {item}")
+        return super().access(txn, item, is_write)
+
+    def abort(self, txn: "Transaction", reason: AbortReason) -> None:
+        """The abort consumes any pending wound (the restart is innocent)."""
+        super().abort(txn, reason)
+        self._wounded.discard(txn.txn_id)
+
+    def finish(self, txn: "Transaction") -> None:
+        """Commit immunity: a wounded txn reaching commit simply finishes."""
+        super().finish(txn)
+        self._wounded.discard(txn.txn_id)
+
+    def reset(self) -> None:
+        super().reset()
+        self._wounded.clear()
+        self.wounds = 0
+
+    def _block(self, txn_id: int, item: int, mode: LockMode,
+               state: _LockState) -> Optional[Event]:
+        priority = self._priority[txn_id]
+        for other in self._blockers_of(txn_id, state):
+            other_priority = self._priority.get(other)
+            if other_priority is not None and other_priority > priority:
+                self._wound(other)
+        # wounded waiters were cancelled (and grants may have cascaded), so
+        # the request may have become grantable — never wait on a clear queue
+        return self._try_grant(txn_id, item, mode, state)
+
+    def _wound(self, victim: int) -> None:
+        """Abort ``victim`` now if blocked, at its next access otherwise."""
+        item = self._waiting_for_item.get(victim)
+        if item is not None:
+            self.wounds += 1
+            self._fail_waiter(victim, item, TransactionAborted(
+                AbortReason.WOUND,
+                f"wounded by an older transaction while waiting on granule {item}"))
+        elif victim not in self._wounded:
+            self.wounds += 1
+            self._wounded.add(victim)
+
+
+class WaitDieLocking(_TimestampPriorityLocking):
+    """Wait-die 2PL: a younger requester dies instead of waiting.
+
+    On conflict the requester waits only if it is *older* than every
+    conflicting transaction; otherwise it aborts itself on the spot
+    (``access`` raises :class:`~repro.cc.base.TransactionAborted` with
+    :attr:`~repro.cc.base.AbortReason.DIE`) and restarts with its original
+    priority.  Wait edges run old → young only, so cycles cannot form and
+    no victim is ever chosen among *other* transactions.
+    """
+
+    name = "wait-die"
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim)
+        self.deaths = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self.deaths = 0
+
+    def _block(self, txn_id: int, item: int, mode: LockMode, state: _LockState) -> Event:
+        priority = self._priority[txn_id]
+        for other in self._blockers_of(txn_id, state):
+            other_priority = self._priority.get(other)
+            if other_priority is not None and other_priority < priority:
+                self.deaths += 1
+                raise TransactionAborted(
+                    AbortReason.DIE,
+                    f"wait-die: younger than a conflicting transaction "
+                    f"on granule {item}")
+        return self._enqueue(txn_id, item, mode, state)

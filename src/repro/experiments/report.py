@@ -45,6 +45,11 @@ def format_sweep_table(sweeps: Sequence, loads: Optional[Sequence[int]] = None,
     column per sweep.  For sweeps produced from replicated runs (non-empty
     :attr:`~repro.experiments.stationary.StationarySweep.aggregates`) the
     throughput cells read ``mean ± ci`` unless ``show_ci=False``.
+
+    Sweeps that carry a scheme-aware analytic reference (non-empty
+    ``model_reference_name``) get a footer line naming the model each
+    series was referenced against, so a table mixing 2PL and OCC series
+    states which first-order theory backs which column.
     """
     if not sweeps:
         raise ValueError("at least one sweep is required")
@@ -64,7 +69,14 @@ def format_sweep_table(sweeps: Sequence, loads: Optional[Sequence[int]] = None,
             except KeyError:
                 row.append("-")
         rows.append(row)
-    return format_table(headers, rows, float_format=float_format)
+    table = format_table(headers, rows, float_format=float_format)
+    references = [
+        f"{sweep.label}: {sweep.model_reference_name}"
+        for sweep in sweeps if getattr(sweep, "model_reference_name", "")
+    ]
+    if references:
+        table += "\nanalytic references — " + ", ".join(references)
+    return table
 
 
 #: (metric key, column header) pairs shown by :func:`format_aggregate_table`

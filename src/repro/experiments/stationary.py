@@ -57,6 +57,10 @@ class StationaryPoint:
     final_limit: float
     #: commits observed (statistical weight of the point)
     commits: int
+    #: abandoned executions by reason (:class:`~repro.cc.base.AbortReason`
+    #: values as strings); lets restart-heavy schemes (wound-wait) be told
+    #: apart from deadlock-victim schemes at the sweep level
+    aborts_by_reason: Dict[str, int] = field(default_factory=dict)
 
     def as_tuple(self) -> Tuple[float, float]:
         """The (load, throughput) pair used by the curve helpers."""
@@ -71,6 +75,10 @@ class StationarySweep:
     points: List[StationaryPoint] = field(default_factory=list)
     #: analytic (model) throughput at each offered load, for comparison
     model_reference: Dict[int, float] = field(default_factory=dict)
+    #: which analytic model produced :attr:`model_reference` ("TayModel"
+    #: for locking-family schemes, "OccModel" for optimistic ones; empty
+    #: when no reference was requested)
+    model_reference_name: str = ""
     #: offered load -> replicate aggregate (mean ± CI per metric); populated
     #: by replicated runs, empty for single-replicate sweeps
     aggregates: Dict[int, object] = field(default_factory=dict)
@@ -153,6 +161,8 @@ def run_stationary_point(params: SystemParams,
         cpu_utilisation=system.cpus.utilisation(since=measured_from),
         final_limit=system.gate.limit,
         commits=metrics.commits,
+        aborts_by_reason={reason.value: count for reason, count
+                          in metrics.aborts_by_reason.items()},
     )
 
 
@@ -162,7 +172,8 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
                           label: Optional[str] = None,
                           name: str = "stationary",
                           workload_classes: Optional[Sequence[TransactionClassSpec]] = None,
-                          cc: Optional[object] = None):
+                          cc: Optional[object] = None,
+                          scheme_diagnostics: bool = False):
     """Build the runner :class:`~repro.runner.specs.SweepSpec` of one curve.
 
     ``controller`` may be ``None`` (uncontrolled), a
@@ -172,6 +183,10 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
     every cell on the named concurrency control scheme (``None`` = the
     default timestamp certification, or a
     :class:`~repro.cc.registry.CCSpec` / factory).
+    ``scheme_diagnostics=True`` makes every cell additionally report its
+    per-reason abort counts (``aborts_<reason>`` metrics) and the name of
+    its scheme-aware analytic reference — see
+    :attr:`~repro.runner.specs.RunSpec.scheme_diagnostics`.
     """
     from repro.runner.specs import KIND_STATIONARY, RunSpec, SweepSpec
 
@@ -190,6 +205,7 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
             label=label,
             workload_classes=classes,
             cc=cc,
+            scheme_diagnostics=scheme_diagnostics,
         )
         for offered_load in scale.offered_loads
     )

@@ -123,8 +123,15 @@ def stationary_sweeps(result: SweepResult,
     :class:`~repro.experiments.stationary.StationaryPoint` objects; with
     several, each point carries the replicate means and the sweep's
     ``aggregates`` map offered load to the full per-metric summaries.
+
+    The analytic reference is *scheme-aware*: locking-family cells
+    (``two_phase_locking`` / ``wound_wait`` / ``wait_die``) are referenced
+    against Tay's blocking model, optimistic ones against the OCC fixed
+    point (see :mod:`repro.analytic.references`); the sweep's
+    ``model_reference_name`` records which model filled its
+    ``model_reference`` column.
     """
-    from repro.analytic.occ import OccModel
+    from repro.analytic.references import reference_model_for
     from repro.experiments.stationary import StationaryPoint, StationarySweep
 
     specs_by_id: Dict[str, RunSpec] = {}
@@ -147,7 +154,8 @@ def stationary_sweeps(result: SweepResult,
             sweep.aggregates[spec.params.n_terminals] = aggregate
         sweep.points.append(point)
         if include_model_reference:
-            model = OccModel(spec.params)
+            name, model = reference_model_for(spec.params, spec.cc)
+            sweep.model_reference_name = name
             # the uncontrolled system operates near the offered load, the
             # controlled one near the model's optimum
             if spec.controller is None:
@@ -170,6 +178,11 @@ def _mean_stationary_point(point_type, spec: RunSpec, aggregate: CellAggregate):
         cpu_utilisation=mean["cpu_utilisation"],
         final_limit=mean["final_limit"],
         commits=int(round(mean["commits"])),
+        # diagnostics cells report aborts_<reason> metrics; fold their
+        # replicate means back so replicated sweeps keep per-reason data
+        aborts_by_reason={name[len("aborts_"):]: int(round(value))
+                          for name, value in mean.items()
+                          if name.startswith("aborts_")},
     )
 
 

@@ -45,6 +45,10 @@ class CellResult:
     label: str = ""
     metrics: Dict[str, float] = field(default_factory=dict)
     payload: object = None
+    #: name of the scheme-aware analytic reference ("TayModel"/"OccModel");
+    #: set only when the spec asked for scheme diagnostics, so the golden
+    #: fixtures of cells that never requested it are untouched
+    model_reference: str = ""
 
 
 def replicate_streams(seed: int, replicate: int) -> RandomStreams:
@@ -91,6 +95,15 @@ def _execute_stationary(spec: RunSpec) -> CellResult:
         "commits": float(point.commits),
         "final_limit": point.final_limit,
     }
+    model_reference = ""
+    if spec.scheme_diagnostics:
+        from repro.analytic.references import reference_model_name
+
+        # per-reason abort counts: all reasons, so the metric schema of a
+        # diagnostics sweep is stable whether or not a reason occurred
+        for reason, count in sorted(point.aborts_by_reason.items()):
+            metrics[f"aborts_{reason}"] = float(count)
+        model_reference = reference_model_name(spec.cc)
     return CellResult(
         cell_id=spec.cell_id,
         kind=spec.kind,
@@ -98,6 +111,7 @@ def _execute_stationary(spec: RunSpec) -> CellResult:
         label=spec.label,
         metrics=metrics,
         payload=point,
+        model_reference=model_reference,
     )
 
 

@@ -1,8 +1,8 @@
 """Named experiment scenarios: the paper's evaluation grid by name.
 
-Each scenario maps a name (``cc_compare``, ``displacement_policies``,
-``fig12_stationary``, ``fig13_is_jump``, ``fig14_pa_jump``,
-``mixed_classes``, ``sinusoid``, ``thrashing``) to a
+Each scenario maps a name (``cc_compare``, ``deadlock_resolution``,
+``displacement_policies``, ``fig12_stationary``, ``fig13_is_jump``,
+``fig14_pa_jump``, ``mixed_classes``, ``sinusoid``, ``thrashing``) to a
 builder that produces
 the corresponding :class:`~repro.runner.specs.SweepSpec` for a given
 :class:`~repro.experiments.config.ExperimentScale`.  Benchmarks, examples
@@ -107,13 +107,15 @@ def _tracking_pa() -> ControllerSpec:
 
 
 def _stationary_cells(name: str, scale: ExperimentScale, base_params: SystemParams,
-                      variants, workload_classes=None, cc=None) -> SweepSpec:
+                      variants, workload_classes=None, cc=None,
+                      scheme_diagnostics: bool = False) -> SweepSpec:
     """One stationary cell per (controller variant, offered load)."""
     cells = []
     for label, controller in variants:
         cells.extend(
             stationary_sweep_spec(base_params, controller, scale, label, name=name,
-                                  workload_classes=workload_classes, cc=cc).cells
+                                  workload_classes=workload_classes, cc=cc,
+                                  scheme_diagnostics=scheme_diagnostics).cells
         )
     return SweepSpec(name=name, cells=tuple(cells))
 
@@ -248,6 +250,51 @@ def _cc_compare(scale: ExperimentScale, base_params: Optional[SystemParams],
         cells.extend(_stationary_cells("cc_compare", scale, base, variants,
                                        cc=cc).cells)
     return SweepSpec(name="cc_compare", cells=tuple(cells))
+
+
+@register_scenario(
+    "deadlock_resolution",
+    "The locking family side by side: deadlock detection vs wound-wait vs "
+    "wait-die on the cc_compare workload, uncontrolled and under IS control, "
+    "with per-reason abort counts surfaced per cell",
+)
+def _deadlock_resolution(scale: ExperimentScale, base_params: Optional[SystemParams],
+                         db_size: int = 1500,
+                         write_fraction: float = 0.6,
+                         victim_policy: str = "youngest") -> SweepSpec:
+    """All three strict-2PL conflict resolutions over one contended workload.
+
+    The schemes share every line of lock-table machinery
+    (:class:`~repro.cc.two_phase_locking.LockingScheme`) and differ only in
+    how a conflict is resolved, so curve differences are pure
+    resolution-policy effects: the detector aborts waits-for-cycle victims
+    (``deadlock`` aborts), wound-wait restarts younger lock owners
+    (``wound``), wait-die restarts younger requesters (``die``).  Every
+    cell runs with ``scheme_diagnostics`` on, so the per-reason abort
+    counts — and the ``TayModel`` reference tag of the locking family —
+    appear in the cell metrics and are pinned by the scenario's golden
+    fixture.  The workload is ``cc_compare``'s (db tightened to 1500
+    granules, write fraction 0.6) so all three variants rise-then-fall
+    inside the standard offered-load grid; common random numbers across
+    the six series make the comparison paired.
+    """
+    base = base_params or default_system_params(seed=53)
+    base = base.with_changes(workload=base.workload.with_changes(
+        db_size=db_size, write_fraction=write_fraction))
+    schemes = (
+        ("detect", CCSpec.make("two_phase_locking", victim_policy=victim_policy)),
+        ("wound-wait", CCSpec.make("wound_wait")),
+        ("wait-die", CCSpec.make("wait_die")),
+    )
+    cells = []
+    for scheme_label, cc in schemes:
+        variants = [
+            (f"{scheme_label} without control", None),
+            (f"{scheme_label} IS control", ControllerSpec.make("incremental_steps")),
+        ]
+        cells.extend(_stationary_cells("deadlock_resolution", scale, base, variants,
+                                       cc=cc, scheme_diagnostics=True).cells)
+    return SweepSpec(name="deadlock_resolution", cells=tuple(cells))
 
 
 @register_scenario(

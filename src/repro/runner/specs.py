@@ -207,6 +207,12 @@ class RunSpec:
     #: concurrency control scheme (None = the system default, timestamp
     #: certification); a CCSpec or a picklable ``factory(sim) -> scheme``
     cc: Optional[object] = None
+    #: stationary runs only: report per-reason abort counts
+    #: (``aborts_<reason>`` metrics) and the scheme-aware analytic
+    #: reference name on the cell result.  Opt-in so the metrics schema —
+    #: and therefore every pre-existing golden fixture — of cells that do
+    #: not ask for it stays byte-identical.
+    scheme_diagnostics: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_STATIONARY, KIND_TRACKING):
@@ -222,6 +228,10 @@ class RunSpec:
         if self.workload_classes is not None and self.kind != KIND_STATIONARY:
             raise ValueError(
                 "mixed-class workloads are supported for stationary runs only"
+            )
+        if self.scheme_diagnostics and self.kind != KIND_STATIONARY:
+            raise ValueError(
+                "scheme_diagnostics is supported for stationary runs only"
             )
         if self.cc is not None and not isinstance(self.cc, CCSpec) \
                 and not callable(self.cc):

@@ -1,10 +1,10 @@
-"""Tests for the Tay mean-value blocking model."""
+"""Tests for the Tay mean-value blocking model and its throughput adapter."""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analytic.tay import TayModel
+from repro.analytic.tay import TayModel, TayThroughputModel
 
 
 class TestValidation:
@@ -85,3 +85,92 @@ class TestBlockingBehaviour:
         assert 0.0 <= blocked <= max(0.0, n - 1.0) + 1e-9
         assert 0.0 <= model.conflict_probability(n) <= 1.0
         assert model.active_transactions(n) == pytest.approx(n - blocked)
+
+
+class TestTayThroughputModel:
+    """The absolute-throughput adapter used as the locking-family reference."""
+
+    def params(self, **changes):
+        from repro.experiments.config import default_system_params
+
+        base = default_system_params()
+        return base.with_changes(**changes) if changes else base
+
+    def test_throughput_never_exceeds_cpu_capacity(self):
+        params = self.params()
+        model = TayThroughputModel(params)
+        cpu_demand = (params.cpu_init
+                      + params.workload.accesses_per_txn * params.cpu_per_access
+                      + params.cpu_commit)
+        capacity = params.n_cpus / cpu_demand
+        for mpl in (1, 10, 50, 200, 800):
+            assert 0.0 <= model.throughput(mpl) <= capacity + 1e-9
+
+    def test_curve_rises_then_falls_around_the_critical_mpl(self):
+        model = TayThroughputModel(self.params())
+        critical = model.tay.critical_mpl()
+        low = model.throughput(0.2 * critical)
+        peak = model.throughput(model.optimal_mpl())
+        far = model.throughput(4.0 * critical)
+        assert peak >= low
+        assert far < peak
+
+    def test_optimal_mpl_is_the_smallest_maximiser(self):
+        model = TayThroughputModel(self.params())
+        optimum = model.optimal_mpl()
+        assert 1.0 <= optimum <= 1.5 * model.tay.critical_mpl() + 1e-9
+        peak = model.throughput(optimum)
+        # nothing strictly below the optimum does as well
+        for fraction in (0.25, 0.5, 0.75):
+            assert model.throughput(fraction * optimum) <= peak + 1e-9
+
+    def test_waiting_share_calibration_shifts_the_optimum(self):
+        params = self.params()
+        patient = TayThroughputModel(params, waiting_share=0.2)
+        impatient = TayThroughputModel(params, waiting_share=1.0)
+        # more of the residence spent waiting -> blocking bites earlier
+        assert impatient.tay.critical_mpl() < patient.tay.critical_mpl()
+
+    def test_zero_mpl_is_zero_throughput(self):
+        model = TayThroughputModel(self.params())
+        assert model.throughput(0) == 0.0
+
+
+class TestReferenceSelection:
+    """analytic.references: the scheme-aware model choice."""
+
+    def test_locking_kinds_map_to_tay(self):
+        from repro.analytic.references import reference_model_for
+        from repro.cc import CCSpec
+        from repro.experiments.config import default_system_params
+
+        params = default_system_params()
+        for kind in ("two_phase_locking", "wound_wait", "wait_die"):
+            name, model = reference_model_for(params, CCSpec.make(kind))
+            assert name == "TayModel"
+            assert isinstance(model, TayThroughputModel)
+
+    def test_optimistic_kinds_and_default_map_to_occ(self):
+        from repro.analytic.occ import OccModel
+        from repro.analytic.references import reference_model_for
+        from repro.cc import CCSpec
+        from repro.experiments.config import default_system_params
+
+        params = default_system_params()
+        for cc in (None, CCSpec.make("timestamp_cert"),
+                   CCSpec.make("occ_forward")):
+            name, model = reference_model_for(params, cc)
+            assert name == "OccModel"
+            assert isinstance(model, OccModel)
+
+    def test_both_models_share_the_reference_interface(self):
+        from repro.analytic.references import reference_model_for
+        from repro.cc import CCSpec
+        from repro.experiments.config import default_system_params
+
+        params = default_system_params()
+        for cc in (None, CCSpec.make("wound_wait")):
+            _name, model = reference_model_for(params, cc)
+            optimum = model.optimal_mpl()
+            assert optimum > 1.0
+            assert model.throughput(optimum) > 0.0

@@ -21,11 +21,16 @@ import pytest
 
 from repro.analytic.occ import OccModel
 from repro.analytic.tay import TayModel
-from repro.cc import CCSpec, cc_kinds
+from repro.cc import CCSpec, cc_family, cc_kinds
 from repro.experiments.stationary import run_stationary_point
 from repro.sim.engine import Simulator
 from repro.tp.params import SystemParams, WorkloadParams
 from repro.tp.system import TransactionSystem
+
+#: the five built-in schemes; a registration regression must fail loudly,
+#: not silently shrink the parametrized coverage below
+EXPECTED_KINDS = ("occ_forward", "timestamp_cert", "two_phase_locking",
+                  "wait_die", "wound_wait")
 
 
 def contended_params(seed: int = 11, think_time: float = 0.0) -> SystemParams:
@@ -45,8 +50,13 @@ def contended_params(seed: int = 11, think_time: float = 0.0) -> SystemParams:
 
 
 def oracle_optimum(kind: str, params: SystemParams) -> float:
-    """The analytic model's optimum MPL for the scheme class."""
-    if kind == "two_phase_locking":
+    """The analytic model's optimum MPL, chosen by the scheme's *family*.
+
+    Locking-family schemes (detector, wound-wait, wait-die) are placed by
+    Tay's blocking model; optimistic ones by the OCC fixed point — the same
+    rule the runner uses for its reported model references.
+    """
+    if cc_family(kind) == "locking":
         model = TayModel(db_size=params.workload.db_size,
                          locks_per_txn=params.workload.accesses_per_txn)
         return model.critical_mpl()
@@ -55,10 +65,19 @@ def oracle_optimum(kind: str, params: SystemParams) -> float:
 
 
 class TestEveryRegisteredScheme:
-    def test_both_paper_schemes_are_registered(self):
-        kinds = cc_kinds()
-        assert "timestamp_cert" in kinds
-        assert "two_phase_locking" in kinds
+    def test_the_full_scheme_family_is_registered(self):
+        """Exactly the five built-ins: a lost registration would silently
+        deselect every parametrized test below, so pin the roster itself."""
+        assert cc_kinds() == EXPECTED_KINDS
+        assert len(cc_kinds()) == 5
+        families = {kind: cc_family(kind) for kind in cc_kinds()}
+        assert families == {
+            "occ_forward": "optimistic",
+            "timestamp_cert": "optimistic",
+            "two_phase_locking": "locking",
+            "wait_die": "locking",
+            "wound_wait": "locking",
+        }
 
     @pytest.mark.parametrize("kind", cc_kinds())
     @pytest.mark.parametrize("seed", [5, 23])

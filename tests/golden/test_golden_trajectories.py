@@ -90,9 +90,11 @@ def test_workers2_metrics_bitwise_identical(name):
 
 
 #: scenarios exercising the post-dist sweep dimensions (CCSpec on the cell
-#: specs, DisplacementPolicy/VictimCriterion): these must round-trip the
-#: wire protocol, so they are asserted over a real localhost cluster too
-DIST_PINNED_SCENARIOS = ("cc_compare", "displacement_policies")
+#: specs, DisplacementPolicy/VictimCriterion, scheme_diagnostics): these
+#: must round-trip the wire protocol, so they are asserted over a real
+#: localhost cluster too
+DIST_PINNED_SCENARIOS = ("cc_compare", "displacement_policies",
+                         "deadlock_resolution")
 
 
 @pytest.mark.parametrize("name", DIST_PINNED_SCENARIOS)
@@ -113,6 +115,33 @@ def _assert_metrics_match_golden(result, golden):
         assert cell.cell_id == golden_cell["cell_id"]
         assert (regen_goldens.canonical_json(dict(cell.metrics))
                 == regen_goldens.canonical_json(golden_cell["metrics"]))
+        # diagnostics cells label their analytic reference; the label must
+        # survive the executor / wire protocol unchanged
+        assert cell.model_reference == golden_cell.get("model_reference", "")
+
+
+class TestRegenOnlyFlag:
+    """``--only`` is the guard that keeps existing fixtures untouched."""
+
+    def test_only_writes_exactly_the_named_fixture(self, tmp_path):
+        assert regen_goldens.main(["--only", "thrashing",
+                                   "--out", str(tmp_path)]) == 0
+        assert [path.name for path in tmp_path.iterdir()] == ["thrashing.json"]
+        fresh = json.loads((tmp_path / "thrashing.json").read_text())
+        golden = json.loads(_golden_path("thrashing").read_text())
+        assert fresh == golden
+
+    def test_positional_scenarios_are_not_accepted(self, tmp_path):
+        """--only is the single subset spelling; bare names are an error."""
+        with pytest.raises(SystemExit):
+            regen_goldens.main(["thrashing", "--out", str(tmp_path)])
+        assert list(tmp_path.iterdir()) == []
+
+    def test_only_rejects_unknown_scenarios(self, tmp_path):
+        with pytest.raises(SystemExit):
+            regen_goldens.main(["--only", "no_such_scenario",
+                                "--out", str(tmp_path)])
+        assert list(tmp_path.iterdir()) == []
 
 
 def _explain_mismatch(golden: dict, fresh: dict) -> None:

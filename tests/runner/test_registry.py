@@ -29,7 +29,8 @@ TINY = ExperimentScale(
 class TestRegistry:
     def test_paper_scenarios_are_registered(self):
         names = available_scenarios()
-        for name in ("cc_compare", "displacement_policies", "fig12_stationary",
+        for name in ("cc_compare", "deadlock_resolution",
+                     "displacement_policies", "fig12_stationary",
                      "fig13_is_jump", "fig14_pa_jump", "mixed_classes",
                      "sinusoid", "thrashing"):
             assert name in names
@@ -67,6 +68,41 @@ class TestRegistry:
         assert tpl_cells
         for cell in tpl_cells:
             assert dict(cell.cc.options)["victim_policy"] == "oldest"
+
+    def test_deadlock_resolution_structure(self):
+        from repro.cc import CCSpec
+
+        sweep = build_sweep("deadlock_resolution", scale=TINY)
+        # 3 locking variants x (uncontrolled + IS) x offered loads
+        assert len(sweep) == 6 * len(TINY.offered_loads)
+        kinds_by_prefix = {"detect": "two_phase_locking",
+                           "wound-wait": "wound_wait",
+                           "wait-die": "wait_die"}
+        labels = {cell.label for cell in sweep.cells}
+        assert labels == {f"{prefix} {suffix}"
+                          for prefix in kinds_by_prefix
+                          for suffix in ("without control", "IS control")}
+        for cell in sweep.cells:
+            assert cell.kind == KIND_STATIONARY
+            assert cell.scheme_diagnostics is True
+            assert isinstance(cell.cc, CCSpec)
+            prefix = cell.label.rsplit(" ", 2)[0]
+            assert cell.cc.kind == kinds_by_prefix[prefix]
+            # the cc_compare workload: tightened database, heavier writes
+            assert cell.params.workload.db_size == 1500
+            assert cell.params.workload.write_fraction == 0.6
+
+    def test_deadlock_resolution_series_carry_tay_references(self):
+        result = run_sweep("deadlock_resolution", scale=TINY)
+        sweeps = stationary_sweeps(result)
+        assert len(sweeps) == 6
+        for label, sweep in sweeps.items():
+            assert sweep.model_reference_name == "TayModel", label
+        # every cell reports the per-reason abort metrics and the label
+        for cell in result.results:
+            assert cell.model_reference == "TayModel"
+            for key in ("aborts_deadlock", "aborts_wound", "aborts_die"):
+                assert key in cell.metrics
 
     def test_displacement_policies_structure(self):
         from repro.core.displacement import DisplacementPolicy, VictimCriterion

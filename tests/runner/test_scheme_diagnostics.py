@@ -1,0 +1,135 @@
+"""Scheme diagnostics on real stationary cells: per-reason aborts + reference.
+
+``tp.metrics`` has always counted aborts per reason, but until the
+``deadlock_resolution`` scenario nothing at the *sweep* level pinned that
+the restart-heavy deadlock-avoiding schemes report their restarts under
+the right label.  These tests run real cells through
+:func:`~repro.runner.cells.execute_run_spec` and assert the full chain:
+scheme -> RunMetrics -> StationaryPoint -> cell metrics.
+"""
+
+import pytest
+
+from repro.cc import CCSpec
+from repro.experiments.config import ExperimentScale
+from repro.runner.cells import execute_run_spec
+from repro.runner.specs import KIND_STATIONARY, KIND_TRACKING, RunSpec
+from repro.tp.params import SystemParams, WorkloadParams
+
+#: every metric key a diagnostics cell must carry, one per AbortReason
+ABORT_METRICS = ("aborts_certification", "aborts_deadlock", "aborts_die",
+                 "aborts_displacement", "aborts_wound")
+
+
+def contended_params(seed: int = 11) -> SystemParams:
+    return SystemParams(
+        n_terminals=40, think_time=0.0, n_cpus=2,
+        cpu_init=0.002, cpu_per_access=0.002, cpu_commit=0.002,
+        disk_per_access=0.004, disk_commit=0.004, restart_delay=0.005,
+        seed=seed,
+        workload=WorkloadParams(db_size=150, accesses_per_txn=6,
+                                query_fraction=0.1, write_fraction=0.8))
+
+
+def run_cell(kind: str, **spec_kwargs):
+    spec = RunSpec(
+        kind=KIND_STATIONARY,
+        cell_id=f"diag/{kind}",
+        params=contended_params(),
+        scale=ExperimentScale.smoke(),
+        cc=CCSpec.make(kind),
+        label=kind,
+        **spec_kwargs,
+    )
+    return execute_run_spec(spec)
+
+
+class TestAbortReasonPropagation:
+    def test_wound_wait_reports_wounds_not_deadlocks(self):
+        """The restart-family reason survives to the sweep level."""
+        result = run_cell("wound_wait", scheme_diagnostics=True)
+        for key in ABORT_METRICS:
+            assert key in result.metrics
+        assert result.metrics["aborts_wound"] > 0, (
+            "the contended cell never wounded — vacuous")
+        assert result.metrics["aborts_deadlock"] == 0.0
+        assert result.metrics["aborts_die"] == 0.0
+        assert result.metrics["aborts_certification"] == 0.0
+        # the payload carries the same counts for figure-level consumers
+        assert result.payload.aborts_by_reason["wound"] == int(
+            result.metrics["aborts_wound"])
+
+    def test_wait_die_reports_deaths(self):
+        result = run_cell("wait_die", scheme_diagnostics=True)
+        assert result.metrics["aborts_die"] > 0
+        assert result.metrics["aborts_deadlock"] == 0.0
+        assert result.metrics["aborts_wound"] == 0.0
+
+    def test_detector_reports_deadlocks(self):
+        result = run_cell("two_phase_locking", scheme_diagnostics=True)
+        assert result.metrics["aborts_deadlock"] > 0
+        assert result.metrics["aborts_wound"] == 0.0
+        assert result.metrics["aborts_die"] == 0.0
+
+    def test_optimistic_schemes_report_certification(self):
+        for kind in ("timestamp_cert", "occ_forward"):
+            result = run_cell(kind, scheme_diagnostics=True)
+            assert result.metrics["aborts_certification"] > 0, kind
+            assert result.metrics["aborts_deadlock"] == 0.0, kind
+
+
+class TestReplicatedDiagnostics:
+    def test_replicated_sweeps_keep_per_reason_aborts(self):
+        """The synthetic mean point folds the aborts_<reason> means back
+        (regression: replicates > 1 used to reset aborts_by_reason to {})."""
+        from repro.experiments.stationary import stationary_sweep_spec
+        from repro.runner import run_sweep, stationary_sweeps
+
+        tiny = ExperimentScale(
+            stationary_horizon=3.0, warmup=0.5, offered_loads=(40,),
+            tracking_horizon=12.0, measurement_interval=2.0, synthetic_steps=30)
+        spec = stationary_sweep_spec(contended_params(), scale=tiny,
+                                     label="wound-wait", name="diag_replicated",
+                                     cc=CCSpec.make("wound_wait"),
+                                     scheme_diagnostics=True)
+        result = run_sweep(spec, replicates=2)
+        (sweep,) = stationary_sweeps(result).values()
+        (point,) = sweep.points
+        assert point.aborts_by_reason["wound"] > 0
+        assert point.aborts_by_reason["deadlock"] == 0
+
+
+class TestModelReferenceLabel:
+    def test_locking_cells_are_referenced_against_tay(self):
+        for kind in ("two_phase_locking", "wound_wait", "wait_die"):
+            assert run_cell(kind, scheme_diagnostics=True).model_reference == "TayModel"
+
+    def test_optimistic_cells_keep_the_occ_reference(self):
+        for kind in ("timestamp_cert", "occ_forward"):
+            assert run_cell(kind, scheme_diagnostics=True).model_reference == "OccModel"
+
+
+class TestOptInContract:
+    def test_without_diagnostics_the_metric_schema_is_unchanged(self):
+        """The pre-existing goldens rely on this exact key set."""
+        result = run_cell("wound_wait")
+        assert result.model_reference == ""
+        assert set(result.metrics) == {
+            "throughput", "mean_response_time", "restart_ratio",
+            "mean_concurrency", "cpu_utilisation", "commits", "final_limit",
+        }
+
+    def test_diagnostics_rejected_for_tracking_runs(self):
+        from repro.experiments.dynamic import jump_scenario
+        from repro.runner.specs import ControllerSpec
+
+        with pytest.raises(ValueError, match="stationary runs only"):
+            RunSpec(
+                kind=KIND_TRACKING,
+                cell_id="diag/tracking",
+                params=contended_params(),
+                scale=ExperimentScale.smoke(),
+                controller=ControllerSpec.make("incremental_steps"),
+                scenario=jump_scenario("accesses", 4, 16, jump_time=30.0),
+                scheme_diagnostics=True,
+            )

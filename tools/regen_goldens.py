@@ -3,7 +3,7 @@
 
 One JSON file per registry scenario (thrashing, fig12_stationary,
 fig13_is_jump, fig14_pa_jump, sinusoid, mixed_classes, cc_compare,
-displacement_policies), each produced by running every
+displacement_policies, deadlock_resolution), each produced by running every
 cell of the scenario's smoke-scale sweep serially with the trajectory
 tracer installed.  A golden file pins, per cell:
 
@@ -13,7 +13,11 @@ tracer installed.  A golden file pins, per cell:
   ``[time, kind, txn_id, detail]`` (submit/admit/commit/abort/depart), and
 * the first ``EVENTS_HEAD`` log entries verbatim, so a digest mismatch can
   be narrowed down to the first diverging event by a human (or by
-  regenerating into a scratch directory and diffing).
+  regenerating into a scratch directory and diffing), and
+* for cells that run with scheme diagnostics, the name of the scheme-aware
+  analytic reference (``model_reference``: TayModel for locking-family
+  schemes, OccModel for optimistic ones) — absent from cells that never
+  reported one, so older fixtures keep their exact byte content.
 
 ``tests/golden/test_golden_trajectories.py`` asserts that re-running the
 cells reproduces these files *bitwise* (canonical JSON string equality).
@@ -33,6 +37,16 @@ Legitimate regeneration (an intentional semantic change to the model) is::
     PYTHONPATH=src python tools/regen_goldens.py
 
 and must be called out explicitly in the change description.
+
+When a PR merely *adds* a scenario, regenerate that fixture alone with::
+
+    PYTHONPATH=src python tools/regen_goldens.py --only <scenario>
+
+``--only`` (repeatable) refuses to touch any other file, so the
+pre-existing fixtures provably stay byte-identical — ``git status`` after
+the run must show exactly one new file.  Running without ``--only``
+rewrites every fixture and is reserved for intentional, documented
+semantic changes.
 """
 
 from __future__ import annotations
@@ -54,7 +68,8 @@ from repro.sim.trace import TrajectoryTracer, tracing  # noqa: E402
 #: the scenarios pinned by the golden harness (== the full registry)
 GOLDEN_SCENARIOS = ("thrashing", "fig12_stationary", "fig13_is_jump",
                     "fig14_pa_jump", "sinusoid", "mixed_classes",
-                    "cc_compare", "displacement_policies")
+                    "cc_compare", "displacement_policies",
+                    "deadlock_resolution")
 
 #: bump when the golden file structure (not the trajectories) changes
 GOLDEN_FORMAT = 1
@@ -104,7 +119,7 @@ def capture_scenario(name: str) -> dict:
         tracer = TrajectoryTracer()
         with tracing(tracer):
             result = execute_run_spec(cell)
-        cells.append({
+        captured = {
             "cell_id": result.cell_id,
             "kind": result.kind,
             "label": result.label,
@@ -113,7 +128,12 @@ def capture_scenario(name: str) -> dict:
             "n_events": len(tracer.events),
             "events_digest": events_digest(tracer.events),
             "events_head": [list(event) for event in tracer.events[:EVENTS_HEAD]],
-        })
+        }
+        if result.model_reference:
+            # only diagnostics cells report one; older fixtures (captured
+            # before the scheme-aware references existed) stay byte-identical
+            captured["model_reference"] = result.model_reference
+        cells.append(captured)
     return {
         "format": GOLDEN_FORMAT,
         "scenario": name,
@@ -126,17 +146,23 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path, default=REPO_ROOT / "tests" / "golden",
                         help="output directory (default: tests/golden)")
-    parser.add_argument("scenarios", nargs="*", default=list(GOLDEN_SCENARIOS),
-                        help="scenario subset to regenerate (default: all)")
+    parser.add_argument("--only", action="append", metavar="SCENARIO",
+                        help="regenerate exactly this scenario's fixture and "
+                             "touch no other file (repeatable); the safe "
+                             "mode for PRs that only ADD a scenario.  "
+                             "Without it, EVERY fixture is rewritten — "
+                             "reserved for documented semantic changes")
     args = parser.parse_args(argv)
 
+    selected = args.only or list(GOLDEN_SCENARIOS)
+
     known = set(available_scenarios())
-    for name in args.scenarios:
+    for name in selected:
         if name not in known:
             parser.error(f"unknown scenario {name!r}; available: {sorted(known)}")
 
     args.out.mkdir(parents=True, exist_ok=True)
-    for name in args.scenarios:
+    for name in selected:
         payload = capture_scenario(name)
         path = args.out / f"{name}.json"
         path.write_text(canonical_json(payload) + "\n", encoding="utf-8")

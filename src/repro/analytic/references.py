@@ -13,8 +13,11 @@ scheme:
   → :class:`~repro.analytic.tay.TayThroughputModel` (Tay's quadratic
   blocking with a calibrated waiting share, adapted to absolute
   throughput);
-* **optimistic** family (``timestamp_cert``, ``occ_forward``) and runs
-  without an explicit scheme → :class:`~repro.analytic.occ.OccModel`.
+* **optimistic** family (``timestamp_cert``, ``occ_forward``), the
+  **multiversion** family (``snapshot_isolation`` — first-committer-wins
+  certification is an optimistic validation over write sets, so the OCC
+  fixed point remains the right first-order theory) and runs without an
+  explicit scheme → :class:`~repro.analytic.occ.OccModel`.
 
 :func:`reference_model_for` is the single decision point; the runner's
 sweep converters, the scenario goldens and the report tables all label

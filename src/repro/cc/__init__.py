@@ -12,18 +12,26 @@ family of :mod:`repro.cc.two_phase_locking` — shared lock-table machinery
 with three conflict resolutions (waits-for deadlock detection, wound-wait,
 wait-die).
 
+The multiversion family (:mod:`repro.cc.mvcc`) adds the scheme production
+engines actually run: snapshot isolation — reads served from a begin-time
+snapshot without ever blocking, writes validated first-committer-wins.
+
 The registry (:mod:`repro.cc.registry`) makes the scheme a sweepable
 dimension of the experiment grid: a picklable :class:`CCSpec` names a
 registered kind (``timestamp_cert``, ``occ_forward``, ``two_phase_locking``,
-``wound_wait``, ``wait_die``) plus its options, and the runner builds the
-scheme inside the worker that runs the cell — exactly like controllers.
-Each kind carries a *family* (:func:`cc_family`) that selects its analytic
-reference (Tay's blocking model vs the OCC fixed point).
+``wound_wait``, ``wait_die``, ``snapshot_isolation``) plus its options, and
+the runner builds the scheme inside the worker that runs the cell — exactly
+like controllers.  Each kind carries a *family* (:func:`cc_family`) that
+selects its analytic reference (Tay's blocking model vs the OCC fixed
+point) and a declared *isolation level* (:func:`cc_level`).
 
-:mod:`repro.cc.history` provides the opt-in serializability oracle: a
-recorder that observes any scheme through the ``ConcurrencyControl``
-surface plus a conflict-graph acyclicity checker over the committed
-history — the certification harness every registered scheme must pass.
+:mod:`repro.cc.history` provides the opt-in isolation oracle: a recorder
+that observes any scheme through the ``ConcurrencyControl`` surface plus
+history checkers — serialization-graph acyclicity
+(:func:`check_serializability`), a weak-isolation anomaly classifier
+(:func:`classify_anomalies`), and the declared-level tester
+(:func:`check_isolation`) — the certification harness every registered
+scheme must pass at its own level.
 """
 
 from repro.cc.base import (
@@ -32,18 +40,28 @@ from repro.cc.base import (
     TransactionAborted,
 )
 from repro.cc.history import (
+    ANOMALY_KINDS,
+    ISOLATION_LEVELS,
+    Anomaly,
     CommittedExecution,
     HistoryRecorder,
+    IsolationVerdict,
     RecordingConcurrencyControl,
     SerializabilityVerdict,
+    anomaly_counts,
+    check_isolation,
     check_serializability,
+    classify_anomalies,
     conflict_graph,
 )
+from repro.cc.mvcc import SnapshotIsolation
 from repro.cc.occ_forward import OccForwardValidation
 from repro.cc.registry import (
     CCSpec,
     cc_family,
     cc_kinds,
+    cc_level,
+    declared_level,
     register_cc,
     resolve_cc,
 )
@@ -67,9 +85,12 @@ __all__ = [
     "WoundWaitLocking",
     "WaitDieLocking",
     "LockMode",
+    "SnapshotIsolation",
     "CCSpec",
     "cc_family",
     "cc_kinds",
+    "cc_level",
+    "declared_level",
     "register_cc",
     "resolve_cc",
     "HistoryRecorder",
@@ -78,4 +99,11 @@ __all__ = [
     "SerializabilityVerdict",
     "check_serializability",
     "conflict_graph",
+    "ANOMALY_KINDS",
+    "ISOLATION_LEVELS",
+    "Anomaly",
+    "IsolationVerdict",
+    "anomaly_counts",
+    "check_isolation",
+    "classify_anomalies",
 ]

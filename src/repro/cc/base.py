@@ -75,6 +75,26 @@ class ConcurrencyControl(ABC):
     #: Human-readable scheme name used in reports.
     name: str = "abstract"
 
+    #: True for multiversion schemes, whose reads may return a granule
+    #: version *older* than the latest committed one.  The history recorder
+    #: (:mod:`repro.cc.history`) keys on this: for single-version schemes
+    #: the version read is, by definition, the latest committed at the time
+    #: the read takes effect, while a multiversion scheme must report the
+    #: version it actually served via :meth:`observed_version`.
+    multiversion: bool = False
+
+    def observed_version(self, txn: "Transaction", item: int) -> Optional[int]:
+        """The writer txn_id of the version ``txn`` last read of ``item``.
+
+        Only meaningful for schemes with :attr:`multiversion` set, which
+        must override it; ``None`` denotes the initial (never-written)
+        version of the granule.  The history recorder calls this right
+        after a non-blocking ``access`` returns, so the scheme only needs
+        to remember the versions of the *current* execution.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is not a multiversion scheme")
+
     @abstractmethod
     def begin(self, txn: "Transaction") -> None:
         """Register the start of a (possibly re-)execution of ``txn``."""

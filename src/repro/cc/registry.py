@@ -9,8 +9,9 @@ scheme from this registry plus its constructor options, and the scheme
 instance is built inside the worker that runs the cell, bound to that
 cell's simulator.
 
-Five schemes are registered out of the box, spanning the two *families* the
-paper's Section 1 distinguishes:
+Six schemes are registered out of the box, spanning the two *families* the
+paper's Section 1 distinguishes plus the multiversion family production
+engines actually run:
 
 * ``timestamp_cert`` (optimistic) — the paper's backward-oriented timestamp
   certification (:class:`~repro.cc.timestamp_cert.TimestampCertification`),
@@ -26,16 +27,28 @@ paper's Section 1 distinguishes:
   (:class:`~repro.cc.two_phase_locking.WoundWaitLocking`);
 * ``wait_die`` (locking) — deadlock-avoiding timestamp-priority 2PL:
   younger requesters abort themselves instead of waiting
-  (:class:`~repro.cc.two_phase_locking.WaitDieLocking`).
+  (:class:`~repro.cc.two_phase_locking.WaitDieLocking`);
+* ``snapshot_isolation`` (multiversion) — versioned store, snapshot reads
+  that never block, first-committer-wins write validation
+  (:class:`~repro.cc.mvcc.SnapshotIsolation`).
 
 The family (:func:`cc_family`) is what the analytic layer keys on: locking
 schemes are referenced against Tay's mean-value blocking model, optimistic
-schemes against the OCC fixed point (see
+and multiversion schemes against the OCC fixed point (see
 :func:`repro.analytic.references.reference_model_for`).
+
+Every kind also declares an **isolation level** (:func:`cc_level`): the
+strongest guarantee the isolation oracle
+(:func:`repro.cc.history.check_isolation`) certifies its histories
+against.  The five single-version schemes declare ``"serializable"``;
+``snapshot_isolation`` declares ``"snapshot_isolation"`` — write skew is
+admitted, anything weaker is a bug.
 
 ``register_cc`` extends the registry the same way ``register_controller``
 and ``register_scenario`` do; pass ``family="locking"`` for blocking
-schemes (the default, ``"optimistic"``, keeps the OCC reference).
+schemes or ``family="multiversion"`` for snapshot schemes (the default,
+``"optimistic"``, keeps the OCC reference), and ``level=`` for schemes
+that guarantee less than serializability.
 """
 
 from __future__ import annotations
@@ -44,6 +57,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.cc.base import ConcurrencyControl
+from repro.cc.history import ISOLATION_LEVELS
+from repro.cc.mvcc import SnapshotIsolation
 from repro.cc.occ_forward import OccForwardValidation
 from repro.cc.timestamp_cert import TimestampCertification
 from repro.cc.two_phase_locking import (
@@ -59,28 +74,38 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 CCBuilder = Callable[..., ConcurrencyControl]
 
 #: the scheme families the analytic references distinguish
-CC_FAMILIES = ("optimistic", "locking")
+CC_FAMILIES = ("optimistic", "locking", "multiversion")
 
 _CC_BUILDERS: Dict[str, CCBuilder] = {}
 _CC_FAMILIES: Dict[str, str] = {}
+_CC_LEVELS: Dict[str, str] = {}
 
 
-def register_cc(kind: str, family: str = "optimistic") -> Callable[[CCBuilder], CCBuilder]:
+def register_cc(kind: str, family: str = "optimistic",
+                level: str = "serializable") -> Callable[[CCBuilder], CCBuilder]:
     """Register a concurrency control builder under ``kind`` (decorator).
 
     ``family`` classifies the scheme for the analytic layer: ``"locking"``
     schemes are compared against Tay's blocking model, ``"optimistic"``
-    ones (the default) against the OCC fixed point.
+    and ``"multiversion"`` ones against the OCC fixed point.  ``level``
+    declares the isolation level the scheme guarantees (one of
+    :data:`repro.cc.history.ISOLATION_LEVELS`); the isolation oracle
+    certifies every registered scheme's histories against it.
     """
     if family not in CC_FAMILIES:
         raise ValueError(
             f"unknown cc family {family!r}; expected one of {CC_FAMILIES}")
+    if level not in ISOLATION_LEVELS:
+        raise ValueError(
+            f"unknown isolation level {level!r}; "
+            f"expected one of {ISOLATION_LEVELS}")
 
     def decorator(builder: CCBuilder) -> CCBuilder:
         if kind in _CC_BUILDERS:
             raise ValueError(f"cc kind {kind!r} is already registered")
         _CC_BUILDERS[kind] = builder
         _CC_FAMILIES[kind] = family
+        _CC_LEVELS[kind] = level
         return builder
 
     return decorator
@@ -92,12 +117,33 @@ def cc_kinds() -> Tuple[str, ...]:
 
 
 def cc_family(kind: str) -> str:
-    """The family (``"locking"`` / ``"optimistic"``) of a registered kind."""
+    """The family (``"locking"`` / ``"optimistic"`` / ``"multiversion"``)."""
     family = _CC_FAMILIES.get(kind)
     if family is None:
         raise KeyError(
             f"unknown cc kind {kind!r}; available: {', '.join(cc_kinds())}")
     return family
+
+
+def cc_level(kind: str) -> str:
+    """The isolation level a registered kind declares."""
+    level = _CC_LEVELS.get(kind)
+    if level is None:
+        raise KeyError(
+            f"unknown cc kind {kind!r}; available: {', '.join(cc_kinds())}")
+    return level
+
+
+def declared_level(cc: Optional[object]) -> str:
+    """The isolation level a run's ``cc`` field declares.
+
+    ``None`` is the system default (timestamp certification) and ad-hoc
+    factories are presumed serializable — the strictest reading, so the
+    oracle errs on the side of rejecting, never of excusing.
+    """
+    if isinstance(cc, CCSpec):
+        return cc.level
+    return "serializable"
 
 
 @dataclass(frozen=True)
@@ -118,6 +164,11 @@ class CCSpec:
     def make(cls, kind: str, **options) -> "CCSpec":
         """Build a spec from keyword options."""
         return cls(kind=kind, options=tuple(sorted(options.items())))
+
+    @property
+    def level(self) -> str:
+        """The isolation level the named kind declares (registry metadata)."""
+        return cc_level(self.kind)
 
     def build(self, sim: "Simulator") -> ConcurrencyControl:
         """Construct a fresh scheme instance bound to one run's simulator."""
@@ -181,3 +232,9 @@ def _build_wound_wait(sim: "Simulator", **options) -> ConcurrencyControl:
 @register_cc("wait_die", family="locking")
 def _build_wait_die(sim: "Simulator", **options) -> ConcurrencyControl:
     return WaitDieLocking(sim, **options)
+
+
+@register_cc("snapshot_isolation", family="multiversion",
+             level="snapshot_isolation")
+def _build_snapshot_isolation(sim: "Simulator", **options) -> ConcurrencyControl:
+    return SnapshotIsolation(sim, **options)

@@ -519,6 +519,7 @@ class WoundWaitLocking(_TimestampPriorityLocking):
         self._wounded.discard(txn.txn_id)
 
     def reset(self) -> None:
+        """Clear pending wounds and the wound counter with the lock table."""
         super().reset()
         self._wounded.clear()
         self.wounds = 0
@@ -565,6 +566,7 @@ class WaitDieLocking(_TimestampPriorityLocking):
         self.deaths = 0
 
     def reset(self) -> None:
+        """Clear the death counter with the lock table."""
         super().reset()
         self.deaths = 0
 

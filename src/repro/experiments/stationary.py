@@ -61,6 +61,10 @@ class StationaryPoint:
     #: values as strings); lets restart-heavy schemes (wound-wait) be told
     #: apart from deadlock-victim schemes at the sweep level
     aborts_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: weak-isolation anomalies found in the committed history, by kind
+    #: (:data:`~repro.cc.history.ANOMALY_KINDS`); populated only when the
+    #: run was asked for isolation diagnostics, empty otherwise
+    anomalies: Dict[str, int] = field(default_factory=dict)
 
     def as_tuple(self) -> Tuple[float, float]:
         """The (load, throughput) pair used by the curve helpers."""
@@ -108,7 +112,8 @@ def run_stationary_point(params: SystemParams,
                          measurement_interval: float = 2.0,
                          streams: Optional[RandomStreams] = None,
                          workload_classes: Optional[Sequence[TransactionClassSpec]] = None,
-                         cc: Optional[object] = None
+                         cc: Optional[object] = None,
+                         isolation_diagnostics: bool = False
                          ) -> StationaryPoint:
     """Run one stationary simulation and summarise it.
 
@@ -124,6 +129,11 @@ def run_stationary_point(params: SystemParams,
     timestamp certification), a :class:`~repro.cc.registry.CCSpec`, or a
     factory ``sim -> ConcurrencyControl``; the scheme is built fresh for
     this run, bound to the run's simulator.
+    ``isolation_diagnostics=True`` additionally records the committed
+    history through the isolation oracle's trajectory-preserving wrapper
+    (:class:`~repro.cc.history.RecordingConcurrencyControl`) and fills
+    :attr:`StationaryPoint.anomalies` with the per-kind counts of
+    :func:`~repro.cc.history.classify_anomalies`.
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be positive, got {horizon}")
@@ -134,8 +144,18 @@ def run_stationary_point(params: SystemParams,
     if workload_classes is not None:
         workload = MixedClassWorkload(params.workload, streams, workload_classes)
     sim = Simulator()
+    scheme = resolve_cc(cc, sim)
+    recorder = None
+    if isolation_diagnostics:
+        from repro.cc.history import HistoryRecorder, RecordingConcurrencyControl
+        from repro.cc.timestamp_cert import TimestampCertification
+
+        recorder = HistoryRecorder()
+        scheme = RecordingConcurrencyControl(
+            scheme if scheme is not None else TimestampCertification(sim),
+            recorder)
     system = TransactionSystem(params, sim=sim, streams=streams, workload=workload,
-                               cc=resolve_cc(cc, sim))
+                               cc=scheme)
     measurement: Optional[MeasurementProcess] = None
     if controller_factory is not None:
         controller = controller_factory(params)
@@ -151,6 +171,12 @@ def run_stationary_point(params: SystemParams,
     measured_from = system.sim.now
     system.run(until=warmup + horizon)
 
+    anomalies: Dict[str, int] = {}
+    if recorder is not None:
+        from repro.cc.history import anomaly_counts
+
+        anomalies = anomaly_counts(recorder.committed)
+
     metrics = system.metrics
     return StationaryPoint(
         offered_load=params.n_terminals,
@@ -163,6 +189,7 @@ def run_stationary_point(params: SystemParams,
         commits=metrics.commits,
         aborts_by_reason={reason.value: count for reason, count
                           in metrics.aborts_by_reason.items()},
+        anomalies=anomalies,
     )
 
 
@@ -173,7 +200,8 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
                           name: str = "stationary",
                           workload_classes: Optional[Sequence[TransactionClassSpec]] = None,
                           cc: Optional[object] = None,
-                          scheme_diagnostics: bool = False):
+                          scheme_diagnostics: bool = False,
+                          isolation_diagnostics: bool = False):
     """Build the runner :class:`~repro.runner.specs.SweepSpec` of one curve.
 
     ``controller`` may be ``None`` (uncontrolled), a
@@ -187,6 +215,10 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
     per-reason abort counts (``aborts_<reason>`` metrics) and the name of
     its scheme-aware analytic reference — see
     :attr:`~repro.runner.specs.RunSpec.scheme_diagnostics`.
+    ``isolation_diagnostics=True`` records every cell's committed history
+    through the isolation oracle and reports per-kind anomaly counts
+    (``anomalies_<kind>`` metrics) — see
+    :attr:`~repro.runner.specs.RunSpec.isolation_diagnostics`.
     """
     from repro.runner.specs import KIND_STATIONARY, RunSpec, SweepSpec
 
@@ -206,6 +238,7 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
             workload_classes=classes,
             cc=cc,
             scheme_diagnostics=scheme_diagnostics,
+            isolation_diagnostics=isolation_diagnostics,
         )
         for offered_load in scale.offered_loads
     )

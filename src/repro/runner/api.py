@@ -178,11 +178,15 @@ def _mean_stationary_point(point_type, spec: RunSpec, aggregate: CellAggregate):
         cpu_utilisation=mean["cpu_utilisation"],
         final_limit=mean["final_limit"],
         commits=int(round(mean["commits"])),
-        # diagnostics cells report aborts_<reason> metrics; fold their
-        # replicate means back so replicated sweeps keep per-reason data
+        # diagnostics cells report aborts_<reason> / anomalies_<kind>
+        # metrics; fold their replicate means back so replicated sweeps
+        # keep per-reason and per-anomaly data
         aborts_by_reason={name[len("aborts_"):]: int(round(value))
                           for name, value in mean.items()
                           if name.startswith("aborts_")},
+        anomalies={name[len("anomalies_"):]: int(round(value))
+                   for name, value in mean.items()
+                   if name.startswith("anomalies_")},
     )
 
 

@@ -85,6 +85,7 @@ def _execute_stationary(spec: RunSpec) -> CellResult:
         streams=replicate_streams(spec.params.seed, spec.replicate),
         workload_classes=spec.workload_classes,
         cc=spec.cc,
+        isolation_diagnostics=spec.isolation_diagnostics,
     )
     metrics = {
         "throughput": point.throughput,
@@ -104,6 +105,14 @@ def _execute_stationary(spec: RunSpec) -> CellResult:
         for reason, count in sorted(point.aborts_by_reason.items()):
             metrics[f"aborts_{reason}"] = float(count)
         model_reference = reference_model_name(spec.cc)
+    if spec.isolation_diagnostics:
+        from repro.cc.history import ANOMALY_KINDS
+
+        # per-kind anomaly counts: all kinds, so the metric schema of an
+        # isolation sweep is stable whether or not an anomaly occurred
+        for anomaly_kind in ANOMALY_KINDS:
+            metrics[f"anomalies_{anomaly_kind}"] = float(
+                point.anomalies.get(anomaly_kind, 0))
     return CellResult(
         cell_id=spec.cell_id,
         kind=spec.kind,

@@ -213,6 +213,12 @@ class RunSpec:
     #: and therefore every pre-existing golden fixture — of cells that do
     #: not ask for it stays byte-identical.
     scheme_diagnostics: bool = False
+    #: stationary runs only: record the committed history through the
+    #: isolation oracle (:mod:`repro.cc.history`) and report per-kind
+    #: anomaly counts (``anomalies_<kind>`` metrics).  The recording
+    #: wrapper is trajectory-preserving, but the flag is opt-in for the
+    #: same golden-stability reason as ``scheme_diagnostics``.
+    isolation_diagnostics: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_STATIONARY, KIND_TRACKING):
@@ -232,6 +238,10 @@ class RunSpec:
         if self.scheme_diagnostics and self.kind != KIND_STATIONARY:
             raise ValueError(
                 "scheme_diagnostics is supported for stationary runs only"
+            )
+        if self.isolation_diagnostics and self.kind != KIND_STATIONARY:
+            raise ValueError(
+                "isolation_diagnostics is supported for stationary runs only"
             )
         if self.cc is not None and not isinstance(self.cc, CCSpec) \
                 and not callable(self.cc):

@@ -27,10 +27,10 @@ from repro.sim.engine import Simulator
 from repro.tp.params import SystemParams, WorkloadParams
 from repro.tp.system import TransactionSystem
 
-#: the five built-in schemes; a registration regression must fail loudly,
+#: the six built-in schemes; a registration regression must fail loudly,
 #: not silently shrink the parametrized coverage below
-EXPECTED_KINDS = ("occ_forward", "timestamp_cert", "two_phase_locking",
-                  "wait_die", "wound_wait")
+EXPECTED_KINDS = ("occ_forward", "snapshot_isolation", "timestamp_cert",
+                  "two_phase_locking", "wait_die", "wound_wait")
 
 
 def contended_params(seed: int = 11, think_time: float = 0.0) -> SystemParams:
@@ -60,19 +60,22 @@ def oracle_optimum(kind: str, params: SystemParams) -> float:
         model = TayModel(db_size=params.workload.db_size,
                          locks_per_txn=params.workload.accesses_per_txn)
         return model.critical_mpl()
-    # optimistic / unknown schemes: the OCC fixed-point model
+    # optimistic / multiversion / unknown schemes: the OCC fixed-point model
+    # (snapshot isolation certifies first-committer-wins over write sets,
+    # an optimistic validation, so the OCC fixed point places it too)
     return OccModel(params).optimal_mpl()
 
 
 class TestEveryRegisteredScheme:
     def test_the_full_scheme_family_is_registered(self):
-        """Exactly the five built-ins: a lost registration would silently
+        """Exactly the six built-ins: a lost registration would silently
         deselect every parametrized test below, so pin the roster itself."""
         assert cc_kinds() == EXPECTED_KINDS
-        assert len(cc_kinds()) == 5
+        assert len(cc_kinds()) == 6
         families = {kind: cc_family(kind) for kind in cc_kinds()}
         assert families == {
             "occ_forward": "optimistic",
+            "snapshot_isolation": "multiversion",
             "timestamp_cert": "optimistic",
             "two_phase_locking": "locking",
             "wait_die": "locking",

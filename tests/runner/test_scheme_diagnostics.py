@@ -1,4 +1,4 @@
-"""Scheme diagnostics on real stationary cells: per-reason aborts + reference.
+"""Diagnostics on real stationary cells: per-reason aborts, anomalies, refs.
 
 ``tp.metrics`` has always counted aborts per reason, but until the
 ``deadlock_resolution`` scenario nothing at the *sweep* level pinned that
@@ -6,11 +6,17 @@ the restart-heavy deadlock-avoiding schemes report their restarts under
 the right label.  These tests run real cells through
 :func:`~repro.runner.cells.execute_run_spec` and assert the full chain:
 scheme -> RunMetrics -> StationaryPoint -> cell metrics.
+
+``isolation_diagnostics`` follows the same opt-in pattern one layer
+deeper: the cell's committed history flows through the isolation oracle
+(:mod:`repro.cc.history`) and per-kind ``anomalies_<kind>`` counts land in
+the metrics — zero across the board for serializable schemes, write skew
+(and nothing else) for snapshot isolation on a contended cell.
 """
 
 import pytest
 
-from repro.cc import CCSpec
+from repro.cc import ANOMALY_KINDS, CCSpec
 from repro.experiments.config import ExperimentScale
 from repro.runner.cells import execute_run_spec
 from repro.runner.specs import KIND_STATIONARY, KIND_TRACKING, RunSpec
@@ -19,6 +25,9 @@ from repro.tp.params import SystemParams, WorkloadParams
 #: every metric key a diagnostics cell must carry, one per AbortReason
 ABORT_METRICS = ("aborts_certification", "aborts_deadlock", "aborts_die",
                  "aborts_displacement", "aborts_wound")
+
+#: every metric key an isolation-diagnostics cell must carry
+ANOMALY_METRICS = tuple(f"anomalies_{kind}" for kind in ANOMALY_KINDS)
 
 
 def contended_params(seed: int = 11) -> SystemParams:
@@ -97,6 +106,71 @@ class TestReplicatedDiagnostics:
         (point,) = sweep.points
         assert point.aborts_by_reason["wound"] > 0
         assert point.aborts_by_reason["deadlock"] == 0
+
+
+class TestIsolationDiagnostics:
+    def test_serializable_schemes_report_zero_anomalies(self):
+        """The recording wrapper sees clean histories under real load."""
+        for kind in ("two_phase_locking", "timestamp_cert"):
+            result = run_cell(kind, isolation_diagnostics=True)
+            for key in ANOMALY_METRICS:
+                assert result.metrics[key] == 0.0, (kind, key)
+
+    def test_snapshot_isolation_reports_write_skew_and_nothing_else(self):
+        result = run_cell("snapshot_isolation", isolation_diagnostics=True)
+        assert result.metrics["anomalies_write_skew"] > 0, (
+            "the contended cell produced no write skew — vacuous")
+        assert result.metrics["anomalies_lost_update"] == 0.0
+        assert result.metrics["anomalies_long_fork"] == 0.0
+        assert result.metrics["anomalies_non_repeatable_read"] == 0.0
+        # the payload carries the same counts for figure-level consumers
+        assert result.payload.anomalies["write_skew"] == int(
+            result.metrics["anomalies_write_skew"])
+
+    def test_recording_preserves_the_trajectory(self):
+        """Observation must not change the run it observes."""
+        plain = run_cell("snapshot_isolation")
+        recorded = run_cell("snapshot_isolation", isolation_diagnostics=True)
+        for key in plain.metrics:
+            assert recorded.metrics[key] == plain.metrics[key], key
+
+    def test_isolation_diagnostics_rejected_for_tracking_runs(self):
+        from repro.experiments.dynamic import jump_scenario
+        from repro.runner.specs import ControllerSpec
+
+        with pytest.raises(ValueError, match="stationary runs only"):
+            RunSpec(
+                kind=KIND_TRACKING,
+                cell_id="diag/tracking-isolation",
+                params=contended_params(),
+                scale=ExperimentScale.smoke(),
+                controller=ControllerSpec.make("incremental_steps"),
+                scenario=jump_scenario("accesses", 4, 16, jump_time=30.0),
+                isolation_diagnostics=True,
+            )
+
+    def test_replicated_sweeps_keep_per_kind_anomalies(self):
+        """The synthetic mean point folds the anomalies_<kind> means back."""
+        from repro.experiments.stationary import stationary_sweep_spec
+        from repro.runner import run_sweep, stationary_sweeps
+
+        tiny = ExperimentScale(
+            stationary_horizon=3.0, warmup=0.5, offered_loads=(40,),
+            tracking_horizon=12.0, measurement_interval=2.0, synthetic_steps=30)
+        # tighten the database so the short horizon still produces skew
+        # in every replicate (the fold rounds the replicate mean)
+        base = contended_params()
+        base = base.with_changes(
+            workload=base.workload.with_changes(db_size=40))
+        spec = stationary_sweep_spec(base, scale=tiny,
+                                     label="SI", name="diag_isolation",
+                                     cc=CCSpec.make("snapshot_isolation"),
+                                     isolation_diagnostics=True)
+        result = run_sweep(spec, replicates=2)
+        (sweep,) = stationary_sweeps(result).values()
+        (point,) = sweep.points
+        assert point.anomalies["write_skew"] > 0
+        assert point.anomalies["lost_update"] == 0
 
 
 class TestModelReferenceLabel:

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Check the repository's markdown for broken relative links and anchors.
+
+Scans README.md and ``docs/*.md`` for inline markdown links
+``[text](target)`` and verifies that
+
+* **relative file links** point at files or directories that exist
+  (relative to the file containing the link),
+* **anchor links** (``#section`` or ``file.md#section``) name a heading
+  that actually exists in the target file, using GitHub's slug rules
+  (lowercase, spaces to dashes, punctuation dropped),
+
+and exits non-zero listing every broken link.  External links
+(``http://`` / ``https://`` / ``mailto:``) are *not* fetched — CI must not
+depend on the network — only their syntax is accepted.
+
+Run it directly::
+
+    python tools/check_links.py
+
+or point it somewhere else::
+
+    python tools/check_links.py --root /path/to/repo
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: inline markdown links: [text](target) — images share the syntax
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: ATX headings, used to build the anchor inventory of a page
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+
+#: link schemes that are accepted without local verification
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, dashes, no punctuation."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)       # drop code ticks
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> their text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(page: Path) -> set:
+    """Every heading anchor a page exposes."""
+    slugs: dict = {}
+    found = set()
+    for match in _HEADING.finditer(page.read_text(encoding="utf-8")):
+        slug = github_slug(match.group(1))
+        count = slugs.get(slug, 0)
+        slugs[slug] = count + 1
+        found.add(slug if count == 0 else f"{slug}-{count}")
+    return found
+
+
+def markdown_files(root: Path) -> List[Path]:
+    """The files this checker covers: README.md plus docs/*.md."""
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Remove fenced code blocks: links inside them are examples, not links."""
+    return re.sub(r"^```.*?^```", "", text, flags=re.MULTILINE | re.DOTALL)
+
+
+def check_file(page: Path, root: Path) -> List[Tuple[Path, str, str]]:
+    """All broken links of one page as (page, target, reason) tuples."""
+    broken = []
+    text = _strip_code_blocks(page.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (page.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append((page, target, f"no such file: {path_part}"))
+                continue
+            if not str(resolved).startswith(str(root.resolve())):
+                broken.append((page, target, "link escapes the repository"))
+                continue
+        else:
+            resolved = page
+        if anchor:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                broken.append((page, target, "anchor into a non-markdown target"))
+            elif anchor not in anchors_of(resolved):
+                broken.append((page, target, f"no heading with anchor #{anchor}"))
+    return broken
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: this script's parent)")
+    args = parser.parse_args(argv)
+
+    files = markdown_files(args.root)
+    if not files:
+        print(f"no markdown files found under {args.root}", file=sys.stderr)
+        return 2
+
+    broken = []
+    checked = 0
+    for page in files:
+        text = _strip_code_blocks(page.read_text(encoding="utf-8"))
+        checked += sum(1 for match in _LINK.finditer(text)
+                       if not match.group(1).startswith(_EXTERNAL))
+        broken.extend(check_file(page, args.root))
+
+    for page, target, reason in broken:
+        print(f"{page.relative_to(args.root)}: broken link ({target}): {reason}",
+              file=sys.stderr)
+    print(f"{len(files)} files, {checked} local links checked, "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from repro.analytic.references import (
     reference_family,
     reference_model_for,
     reference_model_name,
+    reference_optimum,
 )
 from repro.analytic.synthetic import DynamicOptimumScenario, SyntheticOverloadFunction, SyntheticSystem
 from repro.analytic.tay import TayModel, TayThroughputModel
@@ -44,6 +45,7 @@ __all__ = [
     "reference_family",
     "reference_model_for",
     "reference_model_name",
+    "reference_optimum",
     "SyntheticOverloadFunction",
     "SyntheticSystem",
     "DynamicOptimumScenario",

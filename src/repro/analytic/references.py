@@ -34,7 +34,7 @@ from repro.analytic.tay import TayThroughputModel
 from repro.cc.registry import CCSpec, cc_family
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
-    from repro.tp.params import SystemParams
+    from repro.tp.params import SystemParams, WorkloadParams
 
 #: names reported for the two reference models
 TAY_REFERENCE = "TayModel"
@@ -70,3 +70,29 @@ def reference_model_for(params: "SystemParams",
     if reference_family(cc) == "locking":
         return TAY_REFERENCE, TayThroughputModel(params)
     return OCC_REFERENCE, OccModel(params)
+
+
+def reference_optimum(params: "SystemParams",
+                      cc: Optional[object] = None,
+                      workload: Optional["WorkloadParams"] = None,
+                      ) -> Tuple[str, float, float]:
+    """The scheme-aware analytic optimum for one cell's configuration.
+
+    Returns ``(name, optimal_mpl, peak_throughput)`` — the model name that
+    :func:`reference_model_for` would report, the multiprogramming level the
+    model considers optimal, and the throughput at that level.  ``workload``
+    overrides the workload parameters the model sees (used by cells whose
+    effective workload differs from ``params.workload``: mixed-class cells
+    score against the expectation of their mix, tracking cells against the
+    parameters in effect after the disturbance).
+
+    This is the score oracle seam of the workload fuzzer: a controller "fails
+    to rescue" a run when its measured throughput stays far below the peak
+    this function predicts for the run's own configuration.
+    """
+    if reference_family(cc) == "locking":
+        name, model = TAY_REFERENCE, TayThroughputModel(params, workload=workload)
+    else:
+        name, model = OCC_REFERENCE, OccModel(params, workload=workload)
+    optimal = float(model.optimal_mpl())
+    return name, optimal, float(model.throughput(optimal))

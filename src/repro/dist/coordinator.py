@@ -312,6 +312,11 @@ class DistributedExecutor:
             # front of the queue: the ordered result stream is most likely
             # blocked on precisely this orphaned cell
             sweep.pending.appendleft(index)
+            # the re-queue is progress: the zero-worker stall timer must
+            # measure from this hand-back, not from the last *result* —
+            # otherwise losing the only worker deep into a long cell makes
+            # the timer fire before a replacement had its full grace period
+            sweep.last_progress = time.monotonic()
 
     def _next_task(self, worker: _WorkerState):
         """Block until a cell can be assigned; None means shut down."""

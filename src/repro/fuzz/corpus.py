@@ -1,0 +1,158 @@
+"""Archiving counterexamples as replayable JSON regression fixtures.
+
+Every counterexample a campaign finds is written under a corpus directory
+(the repository pins ``tests/fuzz_corpus/``) as one canonical-JSON document
+carrying the adversary spec, the lowered
+:class:`~repro.runner.specs.RunSpec` (via the runner's JSON round-trip),
+the oracle's verdict and the metrics the failing run produced.  A pinned
+regression test replays every archived cell through
+:func:`~repro.runner.cells.execute_run_spec` and asserts the metrics are
+*bit-identical* — the fuzzer's scenario-diversity flywheel: once found,
+a controller failure can never silently disappear or change shape.
+
+File names are ``<kind>__<fingerprint>.json`` — a pure function of the
+adversary's content — and the documents contain no timestamps, so two
+campaigns that find the same counterexample write byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.fuzz.adversaries import AdversarySpec, adversary_from_jsonable
+from repro.fuzz.oracle import Verdict
+from repro.runner.cells import execute_run_spec
+from repro.runner.specs import RunSpec, run_spec_from_jsonable, run_spec_to_jsonable
+
+#: corpus document format tag (bump on breaking changes)
+CORPUS_FORMAT = 1
+
+
+def _sanitize(value):
+    """Make a metrics mapping JSON-safe without losing inf/nan exactness."""
+    if isinstance(value, dict):
+        return {key: _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "__nan__"
+        if value == math.inf:
+            return "__inf__"
+        if value == -math.inf:
+            return "__-inf__"
+    return value
+
+
+def _restore(value):
+    """Inverse of :func:`_sanitize`."""
+    if isinstance(value, dict):
+        return {key: _restore(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_restore(item) for item in value]
+    if value == "__nan__":
+        return math.nan
+    if value == "__inf__":
+        return math.inf
+    if value == "__-inf__":
+        return -math.inf
+    return value
+
+
+def canonical_json(data) -> str:
+    """The corpus's canonical serialisation: sorted keys, no whitespace."""
+    return json.dumps(_sanitize(data), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """One archived controller failure: adversary, cell, verdict, evidence."""
+
+    adversary: AdversarySpec
+    spec: RunSpec
+    verdict: Verdict
+    #: the failing run's metrics, exactly as the runner reported them
+    metrics: Dict[str, float]
+
+    def file_name(self) -> str:
+        """Deterministic corpus file name for this counterexample."""
+        return f"{self.adversary.kind}__{self.adversary.fingerprint()}.json"
+
+    def to_jsonable(self) -> dict:
+        """Encode the full document (inverse of :func:`counterexample_from_jsonable`)."""
+        return {
+            "format": CORPUS_FORMAT,
+            "adversary": self.adversary.to_jsonable(),
+            "run_spec": run_spec_to_jsonable(self.spec),
+            "verdict": self.verdict.to_jsonable(),
+            "metrics": dict(self.metrics),
+        }
+
+
+def counterexample_from_jsonable(data: dict) -> Counterexample:
+    """Reconstruct an archived counterexample document."""
+    fmt = data.get("format")
+    if fmt != CORPUS_FORMAT:
+        raise ValueError(
+            f"unsupported corpus format {fmt!r} (expected {CORPUS_FORMAT})"
+        )
+    verdict_data = data["verdict"]
+    return Counterexample(
+        adversary=adversary_from_jsonable(data["adversary"]),
+        spec=run_spec_from_jsonable(data["run_spec"]),
+        verdict=Verdict(
+            cell_id=verdict_data["cell_id"],
+            failed=verdict_data["failed"],
+            reasons=tuple(verdict_data["reasons"]),
+            throughput=verdict_data["throughput"],
+            throughput_fraction=verdict_data["throughput_fraction"],
+            reference=verdict_data["reference"],
+        ),
+        metrics=dict(data["metrics"]),
+    )
+
+
+def archive_counterexamples(counterexamples: List[Counterexample],
+                            directory) -> List[Path]:
+    """Write each counterexample to ``directory``; return the paths written.
+
+    Deterministic: the same counterexamples produce byte-identical files
+    regardless of when or where the campaign ran.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for counterexample in counterexamples:
+        path = directory / counterexample.file_name()
+        path.write_text(canonical_json(counterexample.to_jsonable()) + "\n",
+                        encoding="utf-8")
+        paths.append(path)
+    return paths
+
+
+def load_counterexample(path) -> Counterexample:
+    """Load one archived counterexample document (inf/nan metrics restored)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return counterexample_from_jsonable(_restore(data))
+
+
+def corpus_paths(directory) -> List[Path]:
+    """The archived documents under ``directory``, in sorted order."""
+    return sorted(Path(directory).glob("*.json"))
+
+
+def replay_counterexample(counterexample: Counterexample,
+                          ) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Re-run an archived cell; return ``(archived, fresh)`` metrics.
+
+    The regression contract is bitwise: a caller asserts
+    ``archived == fresh`` — any drift in the simulator, the schedules or the
+    controllers that changes the trajectory of an archived failure is a
+    test failure, not a silent re-interpretation of the corpus.
+    """
+    result = execute_run_spec(counterexample.spec)
+    return dict(counterexample.metrics), dict(result.metrics)

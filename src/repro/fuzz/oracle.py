@@ -1,0 +1,135 @@
+"""Failure predicates: when has a controller *lost* against an adversary?
+
+The fuzzer needs an executable definition of "the controller failed to
+rescue the system".  Three predicates, each tied to a first-class claim of
+the paper:
+
+* **rescue failure** — the run's measured throughput stays below
+  ``rescue_fraction`` of the scheme-aware analytic optimum
+  (:func:`repro.analytic.references.reference_optimum`).  For tracking
+  cells the runner already reports exactly this quantity post-transient as
+  the ``throughput_ratio`` metric; stationary cells are scored against the
+  analytic peak of their own configuration (mixed-class cells against the
+  expectation of their mix).
+* **displacement livelock** — the displacement counter dwarfs the commit
+  counter (``displaced > livelock_ratio * commits``): the controller aborts
+  the same work over and over instead of finishing it (Section 4.3's
+  instability warning, made operational).
+* **admission collapse** — the commit rate falls below
+  ``min_commit_rate`` transactions per simulated second: the gate
+  effectively shut the system down.
+
+:func:`score_run` maps one executed cell to a :class:`Verdict`; any
+triggered predicate makes the run a counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analytic.references import reference_model_name, reference_optimum
+from repro.runner.specs import KIND_TRACKING, RunSpec
+from repro.tp.workload import mixed_class_params
+
+
+@dataclass(frozen=True)
+class FailureThresholds:
+    """Tunable severity of the three failure predicates."""
+
+    #: a run "rescued" less than this fraction of the analytic peak failed
+    rescue_fraction: float = 0.35
+    #: displaced-to-committed ratio above which displacement is a livelock
+    livelock_ratio: float = 3.0
+    #: commits per simulated second below which admission has collapsed
+    min_commit_rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rescue_fraction < 1.0:
+            raise ValueError(
+                f"rescue_fraction must be in (0, 1), got {self.rescue_fraction}"
+            )
+        if self.livelock_ratio <= 0.0:
+            raise ValueError(
+                f"livelock_ratio must be positive, got {self.livelock_ratio}"
+            )
+        if self.min_commit_rate < 0.0:
+            raise ValueError(
+                f"min_commit_rate must be non-negative, got {self.min_commit_rate}"
+            )
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The oracle's judgement of one executed candidate."""
+
+    cell_id: str
+    #: True when any failure predicate triggered (= counterexample found)
+    failed: bool
+    #: which predicates triggered ("rescue", "livelock", "collapse")
+    reasons: Tuple[str, ...]
+    #: measured throughput of the run (commits per simulated second)
+    throughput: float
+    #: measured / analytic-peak throughput (the rescue score)
+    throughput_fraction: float
+    #: name of the analytic reference the score was computed against
+    reference: str
+
+    def to_jsonable(self) -> dict:
+        """Encode as plain JSON data (archived with each counterexample)."""
+        return {
+            "cell_id": self.cell_id,
+            "failed": self.failed,
+            "reasons": list(self.reasons),
+            "throughput": self.throughput,
+            "throughput_fraction": self.throughput_fraction,
+            "reference": self.reference,
+        }
+
+
+def rescue_score(spec: RunSpec, metrics: Dict[str, float]) -> Tuple[float, str]:
+    """``(measured/peak fraction, reference name)`` for one executed cell.
+
+    Tracking cells reuse the runner's post-transient ``throughput_ratio``
+    metric (measured against the analytic peak of the parameters in effect
+    at each sample, so the disturbance is already accounted for).
+    Stationary cells are scored against :func:`reference_optimum` — with the
+    workload overridden by the expectation of the mix for mixed-class cells.
+    """
+    if spec.kind == KIND_TRACKING:
+        return (float(metrics.get("throughput_ratio", 0.0)),
+                reference_model_name(spec.cc))
+    workload = spec.params.workload
+    if spec.workload_classes is not None:
+        workload = mixed_class_params(workload, spec.workload_classes)
+    name, _optimal, peak = reference_optimum(spec.params, spec.cc,
+                                             workload=workload)
+    throughput = float(metrics.get("throughput", 0.0))
+    if peak <= 0.0:
+        return (1.0 if throughput > 0.0 else 0.0), name
+    return throughput / peak, name
+
+
+def score_run(spec: RunSpec, metrics: Dict[str, float],
+              thresholds: Optional[FailureThresholds] = None) -> Verdict:
+    """Apply the failure predicates to one executed cell's metrics."""
+    thresholds = thresholds or FailureThresholds()
+    fraction, reference = rescue_score(spec, metrics)
+    throughput = float(metrics.get("throughput", 0.0))
+    commits = float(metrics.get("commits", 0.0))
+    displaced = metrics.get("displaced")
+    reasons = []
+    if fraction < thresholds.rescue_fraction:
+        reasons.append("rescue")
+    if displaced is not None and displaced > thresholds.livelock_ratio * max(commits, 1.0):
+        reasons.append("livelock")
+    if throughput < thresholds.min_commit_rate:
+        reasons.append("collapse")
+    return Verdict(
+        cell_id=spec.cell_id,
+        failed=bool(reasons),
+        reasons=tuple(reasons),
+        throughput=throughput,
+        throughput_fraction=fraction,
+        reference=reference,
+    )

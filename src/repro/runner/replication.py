@@ -7,9 +7,13 @@ interval.  This module condenses the :class:`~repro.runner.cells.CellResult`
 stream an executor produces into one :class:`CellAggregate` per cell.
 
 No SciPy: the two-sided Student-t critical values for the supported
-confidence levels are tabulated for up to 30 degrees of freedom and fall
-back to the normal quantile beyond that (the usual practice in simulation
-output analysis, and exact to three decimals there).
+confidence levels are tabulated for up to 30 degrees of freedom, continue
+through the standard df = 40/60/120 textbook breakpoints with linear
+interpolation in ``1/df`` (the t quantile is nearly linear in ``1/df``, so
+the interpolation error is below 0.001 everywhere), and only reach the
+normal quantile in the df → ∞ limit.  Falling back to z straight after
+df = 30 — the previous behaviour — made the intervals anticonservative by
+up to ~4% for df 31–120.
 """
 
 from __future__ import annotations
@@ -36,12 +40,26 @@ _T_TABLE: Dict[float, Tuple[float, ...]] = {
            2.763, 2.756, 2.750),
 }
 
-#: normal quantiles used beyond the tabulated degrees of freedom
+#: textbook breakpoints beyond the dense table, indexed [confidence][df]
+_T_BREAKPOINTS: Dict[float, Tuple[Tuple[int, float], ...]] = {
+    0.90: ((40, 1.684), (60, 1.671), (120, 1.658)),
+    0.95: ((40, 2.021), (60, 2.000), (120, 1.980)),
+    0.99: ((40, 2.704), (60, 2.660), (120, 2.617)),
+}
+
+#: normal quantiles, the df -> infinity limit of the t distribution
 _Z_VALUES: Dict[float, float] = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
 
 
 def t_critical(df: int, confidence: float = 0.95) -> float:
-    """Two-sided Student-t critical value for ``df`` degrees of freedom."""
+    """Two-sided Student-t critical value for ``df`` degrees of freedom.
+
+    Exact (to three decimals) for df <= 30 and at the df = 40/60/120
+    breakpoints; linearly interpolated in ``1/df`` between breakpoints and
+    between df = 120 and the normal quantile at infinity, so the value
+    decreases monotonically toward z instead of jumping below the true
+    quantile as soon as the dense table runs out.
+    """
     if df < 1:
         raise ValueError(f"df must be >= 1, got {df}")
     table = _T_TABLE.get(confidence)
@@ -51,7 +69,18 @@ def t_critical(df: int, confidence: float = 0.95) -> float:
         )
     if df <= len(table):
         return table[df - 1]
-    return _Z_VALUES[confidence]
+    # walk the (df, value) knots; interpolate linearly in 1/df between them
+    previous_df, previous_value = len(table), table[-1]
+    for knot_df, knot_value in _T_BREAKPOINTS[confidence]:
+        if df <= knot_df:
+            weight = ((1.0 / df - 1.0 / knot_df)
+                      / (1.0 / previous_df - 1.0 / knot_df))
+            return knot_value + weight * (previous_value - knot_value)
+        previous_df, previous_value = knot_df, knot_value
+    # beyond the last breakpoint 1/df runs to 0, where the quantile is z
+    z_value = _Z_VALUES[confidence]
+    weight = (1.0 / df) / (1.0 / previous_df)
+    return z_value + weight * (previous_value - z_value)
 
 
 @dataclass(frozen=True)

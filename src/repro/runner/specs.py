@@ -23,15 +23,22 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.cc.registry import CCSpec
 from repro.core.controller import LoadController
-from repro.core.displacement import DisplacementPolicy
+from repro.core.displacement import DisplacementPolicy, VictimCriterion
 from repro.core.incremental_steps import IncrementalStepsController
 from repro.core.outer_loop import MeasurementIntervalTuner
 from repro.core.parabola import ParabolaController
 from repro.core.rules import IyerRule, TayRule
 from repro.core.static import FixedLimit, NoControl
 from repro.experiments.config import ExperimentScale
-from repro.tp.params import SystemParams
-from repro.tp.workload import ParameterSchedule, TransactionClassSpec
+from repro.tp.params import SystemParams, WorkloadParams
+from repro.tp.workload import (
+    ConstantSchedule,
+    JumpSchedule,
+    ParameterSchedule,
+    SinusoidSchedule,
+    StepSchedule,
+    TransactionClassSpec,
+)
 
 #: values of :attr:`RunSpec.kind`
 KIND_STATIONARY = "stationary"
@@ -269,6 +276,207 @@ class RunSpec:
         if factory is None:
             return None
         return factory(self.params)
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+#
+# The fuzz corpus (tests/fuzz_corpus/) archives counterexample cells as
+# replayable JSON documents, so a RunSpec must survive a trip through plain
+# JSON data bit-identically: same spec in, equal spec out, equal simulated
+# trajectory.  Only declarative specs round-trip — ad-hoc callables
+# (controller/cc factories, interval tuners) have no data representation
+# and are rejected loudly rather than silently dropped.
+# ----------------------------------------------------------------------
+
+#: format tag embedded in every encoded spec (bump on breaking changes)
+RUN_SPEC_FORMAT = 1
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _encode_options(options: Tuple[Tuple[str, object], ...], what: str) -> dict:
+    for name, value in options:
+        if not isinstance(value, _JSON_SCALARS):
+            raise ValueError(
+                f"{what} option {name!r} is not a JSON scalar: {value!r}"
+            )
+    return dict(options)
+
+
+def _encode_schedule(schedule: ParameterSchedule) -> dict:
+    if isinstance(schedule, ConstantSchedule):
+        return {"type": "constant", "value": schedule._value}
+    if isinstance(schedule, JumpSchedule):
+        return {"type": "jump", "before": schedule.before,
+                "after": schedule.after, "jump_time": schedule.jump_time}
+    if isinstance(schedule, StepSchedule):
+        return {"type": "step", "initial": schedule.initial,
+                "steps": [list(step) for step in schedule.steps]}
+    if isinstance(schedule, SinusoidSchedule):
+        return {"type": "sinusoid", "mean": schedule.mean,
+                "amplitude": schedule.amplitude, "period": schedule.period,
+                "phase": schedule.phase}
+    raise ValueError(
+        f"schedule type {type(schedule).__name__} has no JSON encoding"
+    )
+
+
+def _decode_schedule(data: dict) -> ParameterSchedule:
+    kind = data["type"]
+    if kind == "constant":
+        return ConstantSchedule(data["value"])
+    if kind == "jump":
+        return JumpSchedule(before=data["before"], after=data["after"],
+                            jump_time=data["jump_time"])
+    if kind == "step":
+        return StepSchedule(initial=data["initial"],
+                            steps=[tuple(step) for step in data["steps"]])
+    if kind == "sinusoid":
+        return SinusoidSchedule(mean=data["mean"], amplitude=data["amplitude"],
+                                period=data["period"], phase=data["phase"])
+    raise ValueError(f"unknown schedule type {kind!r}")
+
+
+def run_spec_to_jsonable(spec: RunSpec) -> dict:
+    """Encode a declarative :class:`RunSpec` as JSON-serialisable plain data.
+
+    Inverse of :func:`run_spec_from_jsonable`:
+    ``run_spec_from_jsonable(run_spec_to_jsonable(spec)) == spec`` for every
+    spec built from registry descriptors.  Specs carrying callables
+    (controller/cc factories) or an interval tuner raise ``ValueError`` —
+    those cells cannot be replayed from an archive.
+    """
+    if spec.controller is not None and not isinstance(spec.controller, ControllerSpec):
+        raise ValueError(
+            "only ControllerSpec controllers can be encoded as JSON, got "
+            f"{type(spec.controller).__name__}"
+        )
+    if spec.cc is not None and not isinstance(spec.cc, CCSpec):
+        raise ValueError(
+            "only CCSpec concurrency control can be encoded as JSON, got "
+            f"{type(spec.cc).__name__}"
+        )
+    if spec.interval_tuner is not None:
+        raise ValueError("interval_tuner has no JSON encoding")
+    params = spec.params
+    workload = params.workload
+    data = {
+        "format": RUN_SPEC_FORMAT,
+        "kind": spec.kind,
+        "cell_id": spec.cell_id,
+        "label": spec.label,
+        "replicate": spec.replicate,
+        "params": {
+            "n_terminals": params.n_terminals,
+            "think_time": params.think_time,
+            "n_cpus": params.n_cpus,
+            "cpu_init": params.cpu_init,
+            "cpu_per_access": params.cpu_per_access,
+            "cpu_commit": params.cpu_commit,
+            "disk_per_access": params.disk_per_access,
+            "disk_commit": params.disk_commit,
+            "restart_delay": params.restart_delay,
+            "stochastic_cpu": params.stochastic_cpu,
+            "seed": params.seed,
+            "workload": {
+                "db_size": workload.db_size,
+                "accesses_per_txn": workload.accesses_per_txn,
+                "query_fraction": workload.query_fraction,
+                "write_fraction": workload.write_fraction,
+            },
+        },
+        "scale": {
+            "stationary_horizon": spec.scale.stationary_horizon,
+            "warmup": spec.scale.warmup,
+            "offered_loads": [int(load) for load in spec.scale.offered_loads],
+            "tracking_horizon": spec.scale.tracking_horizon,
+            "measurement_interval": spec.scale.measurement_interval,
+            "synthetic_steps": spec.scale.synthetic_steps,
+        },
+        "controller": None if spec.controller is None else {
+            "kind": spec.controller.kind,
+            "options": _encode_options(spec.controller.options, "controller"),
+        },
+        "scenario": None if spec.scenario is None else {
+            "parameter": spec.scenario[0],
+            "schedule": _encode_schedule(spec.scenario[1]),
+        },
+        "displacement": None if spec.displacement is None else {
+            "criterion": spec.displacement.criterion.value,
+            "enabled": spec.displacement.enabled,
+            "hysteresis": spec.displacement.hysteresis,
+        },
+        "workload_classes": None if spec.workload_classes is None else [
+            {
+                "name": cls.name,
+                "weight": cls.weight,
+                "accesses_per_txn": cls.accesses_per_txn,
+                "write_fraction": cls.write_fraction,
+            }
+            for cls in spec.workload_classes
+        ],
+        "cc": None if spec.cc is None else {
+            "kind": spec.cc.kind,
+            "options": _encode_options(spec.cc.options, "cc"),
+        },
+        "scheme_diagnostics": spec.scheme_diagnostics,
+        "isolation_diagnostics": spec.isolation_diagnostics,
+    }
+    return data
+
+
+def run_spec_from_jsonable(data: dict) -> RunSpec:
+    """Reconstruct the :class:`RunSpec` encoded by :func:`run_spec_to_jsonable`."""
+    fmt = data.get("format")
+    if fmt != RUN_SPEC_FORMAT:
+        raise ValueError(
+            f"unsupported run-spec format {fmt!r} (expected {RUN_SPEC_FORMAT})"
+        )
+    params_data = dict(data["params"])
+    workload = WorkloadParams(**params_data.pop("workload"))
+    params = SystemParams(workload=workload, **params_data)
+    scale_data = dict(data["scale"])
+    scale_data["offered_loads"] = tuple(scale_data["offered_loads"])
+    scale = ExperimentScale(**scale_data)
+    controller = None
+    if data["controller"] is not None:
+        controller = ControllerSpec.make(
+            data["controller"]["kind"], **data["controller"]["options"])
+    scenario = None
+    if data["scenario"] is not None:
+        scenario = (data["scenario"]["parameter"],
+                    _decode_schedule(data["scenario"]["schedule"]))
+    displacement = None
+    if data["displacement"] is not None:
+        displacement = DisplacementPolicy(
+            criterion=VictimCriterion(data["displacement"]["criterion"]),
+            enabled=data["displacement"]["enabled"],
+            hysteresis=data["displacement"]["hysteresis"],
+        )
+    workload_classes = None
+    if data["workload_classes"] is not None:
+        workload_classes = tuple(
+            TransactionClassSpec(**cls) for cls in data["workload_classes"]
+        )
+    cc = None
+    if data["cc"] is not None:
+        cc = CCSpec.make(data["cc"]["kind"], **data["cc"]["options"])
+    return RunSpec(
+        kind=data["kind"],
+        cell_id=data["cell_id"],
+        params=params,
+        scale=scale,
+        controller=controller,
+        scenario=scenario,
+        replicate=data["replicate"],
+        label=data["label"],
+        displacement=displacement,
+        workload_classes=workload_classes,
+        cc=cc,
+        scheme_diagnostics=data["scheme_diagnostics"],
+        isolation_diagnostics=data["isolation_diagnostics"],
+    )
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ from repro.tp.workload import (
     StepSchedule,
     TransactionClassSpec,
     Workload,
+    mixed_class_params,
 )
 
 __all__ = [
@@ -45,4 +46,5 @@ __all__ = [
     "JumpSchedule",
     "SinusoidSchedule",
     "StepSchedule",
+    "mixed_class_params",
 ]

@@ -100,6 +100,14 @@ class StepSchedule(ParameterSchedule):
     def __init__(self, initial: float, steps: Sequence[Tuple[float, float]]):
         self.initial = float(initial)
         self.steps = sorted((float(t), float(v)) for t, v in steps)
+        times = [t for t, _ in self.steps]
+        if len(set(times)) != len(times):
+            duplicates = sorted({t for t in times if times.count(t) > 1})
+            raise ValueError(
+                "StepSchedule breakpoints must have distinct times; the "
+                f"effective value at a duplicated time would depend on input "
+                f"order (duplicated: {duplicates})"
+            )
 
     def value(self, time: float) -> float:
         current = self.initial
@@ -303,6 +311,42 @@ class TransactionClassSpec:
         return self.write_fraction == 0.0
 
 
+def mixed_class_params(base: WorkloadParams,
+                       classes: Sequence[TransactionClassSpec]) -> WorkloadParams:
+    """The expected single-class parameters of a weighted class mix.
+
+    Weight-averages the transaction size over all classes, derives the
+    aggregate query fraction from the read-only classes' weight share, and
+    weight-averages the write fraction over the *updater* classes (queries
+    perform no writes, so they carry no information about the write ratio of
+    the writes that do happen).  A mix without updaters keeps
+    ``base.write_fraction`` — the value is then irrelevant because no
+    transaction ever consults it.
+
+    This is the single source of truth for what load controllers, analytic
+    reference models and the fuzz oracle should see as "the" parameters of a
+    :class:`MixedClassWorkload`.
+    """
+    if not classes:
+        raise ValueError("at least one transaction class is required")
+    classes = tuple(classes)
+    total_weight = sum(spec.weight for spec in classes)
+    mean_k = sum(spec.weight * spec.accesses_per_txn for spec in classes) / total_weight
+    query_weight = sum(spec.weight for spec in classes if spec.is_query)
+    updater_weight = total_weight - query_weight
+    if updater_weight > 0.0:
+        write_fraction = sum(
+            spec.weight * spec.write_fraction for spec in classes if not spec.is_query
+        ) / updater_weight
+    else:
+        write_fraction = base.write_fraction
+    return base.with_changes(
+        accesses_per_txn=max(1, min(int(round(mean_k)), base.db_size)),
+        query_fraction=query_weight / total_weight,
+        write_fraction=write_fraction,
+    )
+
+
 class MixedClassWorkload(Workload):
     """Several transaction classes with distinct size and write ratio.
 
@@ -316,8 +360,9 @@ class MixedClassWorkload(Workload):
     sharing the gate with long read-only queries.
 
     :meth:`params_at` reports the *expectation* of the mix (weight-averaged
-    transaction size, aggregate query fraction), so load controllers and
-    analytic references keep seeing a meaningful mean ``k``.
+    transaction size, aggregate query fraction, weight-averaged updater
+    write fraction — see :func:`mixed_class_params`), so load controllers
+    and analytic references keep seeing meaningful mean parameters.
     """
 
     def __init__(self, base: WorkloadParams, streams: RandomStreams,
@@ -327,12 +372,7 @@ class MixedClassWorkload(Workload):
             raise ValueError("at least one transaction class is required")
         classes = tuple(classes)
         total_weight = sum(spec.weight for spec in classes)
-        mean_k = sum(spec.weight * spec.accesses_per_txn for spec in classes) / total_weight
-        query_weight = sum(spec.weight for spec in classes if spec.is_query)
-        expected = base.with_changes(
-            accesses_per_txn=max(1, min(int(round(mean_k)), base.db_size)),
-            query_fraction=query_weight / total_weight,
-        )
+        expected = mixed_class_params(base, classes)
         super().__init__(expected, streams, database=database)
         self.classes = classes
         cumulative = []

@@ -198,6 +198,64 @@ class TestDistributedExecutorBehaviour:
             with pytest.raises(RuntimeError, match="no workers connected"):
                 executor.execute(_slow_identity, [0.0])
 
+    def test_requeue_refreshes_the_stall_timer(self):
+        # regression: _requeue_in_flight used to leave last_progress at the
+        # time of the last *result*, so losing the only worker deep into a
+        # long cell made the zero-worker stall timer fire before a
+        # replacement worker had its full grace period
+        from repro.dist.coordinator import _SweepState, _WorkerState
+
+        with DistributedExecutor("127.0.0.1:0", worker_timeout=5.0) as executor:
+            sweep = _SweepState(generation=1, function=_slow_identity,
+                                items=[0.0])
+            sweep.pending.clear()  # the one cell is out with the worker
+            worker = _WorkerState(name="doomed", sock=None)
+            worker.in_flight = (1, 0)
+            stale = time.monotonic() - 100.0
+            with executor._state:
+                executor._sweep = sweep
+                sweep.last_progress = stale
+                executor._requeue_in_flight(worker)
+                assert list(sweep.pending) == [0]
+                # the hand-back counts as progress: the timer restarts now
+                assert sweep.last_progress > stale + 50.0
+                executor._check_stalled(sweep)  # must not raise
+                executor._sweep = None
+
+    def test_replacement_worker_gets_a_full_grace_period_after_a_crash(self):
+        # behavioural version: the only worker holds the single cell for
+        # longer than worker_timeout and then dies; the requeue must restart
+        # the stall clock so a promptly joining replacement finishes the sweep
+        with DistributedExecutor("127.0.0.1:0", worker_timeout=1.5,
+                                 heartbeat_timeout=30.0) as executor:
+            host, port = protocol.parse_address(executor.bound_address)
+            doomed = socket.create_connection((host, port))
+            try:
+                protocol.send_message(doomed, (protocol.MSG_HELLO, "doomed"))
+                protocol.send_message(doomed, (protocol.MSG_READY,))
+                executor.wait_for_workers(1)
+
+                collected = {}
+
+                def consume():
+                    collected["results"] = executor.execute(
+                        _slow_identity, [0.0])
+
+                consumer = threading.Thread(target=consume, daemon=True)
+                consumer.start()
+                task = protocol.recv_message(doomed)
+                assert task[0] == protocol.MSG_TASK
+                # hold the cell past worker_timeout, then crash: without the
+                # fix the stall timer (measuring from sweep start) expires
+                # the moment the requeue leaves zero workers connected
+                time.sleep(2.0)
+            finally:
+                doomed.close()
+            _start_thread_worker(executor.bound_address)
+            consumer.join(timeout=30)
+            assert not consumer.is_alive(), "sweep never completed"
+            assert collected["results"] == [0.0]
+
     def test_close_mid_sweep_fails_the_consumer_promptly(self):
         # closing must not leave a blocked consumer waiting out the full
         # worker_timeout; it fails fast with the outstanding cell count

@@ -1,0 +1,163 @@
+"""Tests for the typed adversary specs and their lowering to RunSpecs."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.fuzz.adversaries import (
+    ADAPTIVE_CONTROLLERS,
+    ArrivalBurstAdversary,
+    ClassMixFlipAdversary,
+    DisplacementSpikeAdversary,
+    HotKeyAdversary,
+    SizeSpikeAdversary,
+    adversary_from_jsonable,
+    adversary_kinds,
+)
+from repro.runner.specs import (
+    KIND_STATIONARY,
+    KIND_TRACKING,
+    run_spec_from_jsonable,
+    run_spec_to_jsonable,
+)
+
+EXAMPLES = [
+    SizeSpikeAdversary(),
+    HotKeyAdversary(controller="parabola"),
+    ArrivalBurstAdversary(seed=3),
+    ClassMixFlipAdversary(query_weight=0.4),
+    DisplacementSpikeAdversary(criterion="queries_first"),
+]
+
+
+class TestRegistry:
+    def test_all_five_kinds_are_registered(self):
+        assert adversary_kinds() == (
+            "arrival_burst",
+            "class_mix_flip",
+            "displacement_spike",
+            "hot_key",
+            "size_spike",
+        )
+
+    def test_kind_tags_match_the_registry(self):
+        for spec in EXAMPLES:
+            assert spec.kind in adversary_kinds()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", EXAMPLES, ids=lambda s: s.kind)
+    def test_json_round_trip_is_identity(self, spec):
+        data = json.loads(json.dumps(spec.to_jsonable()))
+        assert adversary_from_jsonable(data) == spec
+
+    @pytest.mark.parametrize("spec", EXAMPLES, ids=lambda s: s.kind)
+    def test_pickle_round_trip_is_identity(self, spec):
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown adversary kind"):
+            adversary_from_jsonable({"kind": "meteor_strike"})
+
+    def test_unexpected_fields_are_rejected(self):
+        data = SizeSpikeAdversary().to_jsonable()
+        data["frobnicate"] = 1
+        with pytest.raises(ValueError, match="unexpected"):
+            adversary_from_jsonable(data)
+
+
+class TestFingerprint:
+    def test_equal_specs_share_a_fingerprint(self):
+        assert HotKeyAdversary(seed=2).fingerprint() == HotKeyAdversary(seed=2).fingerprint()
+
+    def test_different_content_changes_the_fingerprint(self):
+        assert HotKeyAdversary(seed=2).fingerprint() != HotKeyAdversary(seed=3).fingerprint()
+
+    def test_cell_id_embeds_kind_and_fingerprint(self):
+        spec = SizeSpikeAdversary()
+        assert spec.cell_id() == f"fuzz/size_spike/{spec.fingerprint()}"
+
+
+class TestValidation:
+    def test_unknown_controller_is_rejected(self):
+        with pytest.raises(ValueError, match="controller"):
+            SizeSpikeAdversary(controller="static")
+
+    def test_negative_seed_is_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            HotKeyAdversary(seed=-1)
+
+    def test_jump_fraction_bounds(self):
+        with pytest.raises(ValueError, match="jump_fraction"):
+            SizeSpikeAdversary(jump_fraction=1.0)
+
+    def test_hot_set_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="hot_set_size"):
+            HotKeyAdversary(hot_set_size=0)
+
+    def test_write_fraction_bounds(self):
+        with pytest.raises(ValueError, match="write_fraction"):
+            HotKeyAdversary(write_fraction=1.5)
+
+    def test_negative_think_time_is_rejected(self):
+        with pytest.raises(ValueError, match="think_time"):
+            ArrivalBurstAdversary(think_time=-0.1)
+
+    def test_query_weight_bounds(self):
+        with pytest.raises(ValueError, match="query_weight"):
+            ClassMixFlipAdversary(query_weight=0.0)
+
+    def test_unknown_victim_criterion_is_rejected(self):
+        with pytest.raises(ValueError):
+            DisplacementSpikeAdversary(criterion="tallest")
+
+
+class TestLowering:
+    @pytest.mark.parametrize("spec", EXAMPLES, ids=lambda s: s.kind)
+    def test_lowered_cell_survives_the_runner_json_round_trip(self, spec):
+        cell = spec.lower(ExperimentScale.smoke())
+        data = json.loads(json.dumps(run_spec_to_jsonable(cell)))
+        assert run_spec_from_jsonable(data) == cell
+
+    def test_size_spike_lowers_to_a_tracking_jump(self):
+        scale = ExperimentScale.smoke()
+        cell = SizeSpikeAdversary(jump_fraction=0.25).lower(scale)
+        assert cell.kind == KIND_TRACKING
+        parameter, schedule = cell.scenario
+        assert parameter == "accesses"
+        assert schedule.jump_time == pytest.approx(0.25 * scale.tracking_horizon)
+        assert schedule.before == 8 and schedule.after == 32
+
+    def test_hot_key_lowers_to_the_shrunken_database(self):
+        cell = HotKeyAdversary(hot_set_size=50, accesses=80).lower(ExperimentScale.smoke())
+        assert cell.kind == KIND_STATIONARY
+        assert cell.params.workload.db_size == 50
+        # accesses clamp to the hot set: a transaction cannot touch more
+        # distinct granules than exist
+        assert cell.params.workload.accesses_per_txn == 50
+
+    def test_arrival_burst_sets_the_think_time(self):
+        cell = ArrivalBurstAdversary(think_time=0.02, n_terminals=500).lower(
+            ExperimentScale.smoke())
+        assert cell.params.think_time == pytest.approx(0.02)
+        assert cell.params.n_terminals == 500
+
+    def test_class_mix_flip_carries_both_classes(self):
+        cell = ClassMixFlipAdversary(query_weight=0.3).lower(ExperimentScale.smoke())
+        names = [spec.name for spec in cell.workload_classes]
+        assert names == ["oltp", "long-query"]
+        weights = [spec.weight for spec in cell.workload_classes]
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_displacement_spike_enables_displacement(self):
+        cell = DisplacementSpikeAdversary(criterion="oldest").lower(ExperimentScale.smoke())
+        assert cell.displacement is not None
+        assert cell.displacement.criterion.value == "oldest"
+        assert cell.displacement.hysteresis == 0.0
+
+    @pytest.mark.parametrize("controller", ADAPTIVE_CONTROLLERS)
+    def test_every_adversary_attacks_an_adaptive_controller(self, controller):
+        cell = HotKeyAdversary(controller=controller).lower(ExperimentScale.smoke())
+        assert cell.controller.kind == controller

@@ -1,0 +1,85 @@
+"""Tests for the counterexample corpus: archive, load, canonical encoding."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.fuzz.adversaries import HotKeyAdversary
+from repro.fuzz.corpus import (
+    CORPUS_FORMAT,
+    Counterexample,
+    archive_counterexamples,
+    canonical_json,
+    corpus_paths,
+    counterexample_from_jsonable,
+    load_counterexample,
+)
+from repro.fuzz.oracle import Verdict
+
+
+def make_counterexample():
+    adversary = HotKeyAdversary(controller="parabola", seed=2)
+    spec = adversary.lower(ExperimentScale.smoke())
+    verdict = Verdict(cell_id=spec.cell_id, failed=True, reasons=("rescue",),
+                      throughput=1.5, throughput_fraction=0.2,
+                      reference="TayModel")
+    metrics = {"throughput": 1.5, "commits": 9.0, "mean_mpl": 4.0}
+    return Counterexample(adversary=adversary, spec=spec, verdict=verdict,
+                          metrics=metrics)
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_no_whitespace(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_non_finite_floats_survive(self):
+        text = canonical_json({"x": math.inf, "y": -math.inf, "z": math.nan})
+        data = json.loads(text)
+        assert data == {"x": "__inf__", "y": "__-inf__", "z": "__nan__"}
+
+
+class TestRoundTrip:
+    def test_document_round_trip_is_identity(self):
+        ce = make_counterexample()
+        restored = counterexample_from_jsonable(json.loads(
+            canonical_json(ce.to_jsonable())))
+        assert restored == ce
+
+    def test_unknown_format_is_rejected(self):
+        data = make_counterexample().to_jsonable()
+        data["format"] = CORPUS_FORMAT + 1
+        with pytest.raises(ValueError, match="corpus format"):
+            counterexample_from_jsonable(data)
+
+    def test_file_name_is_content_addressed(self):
+        ce = make_counterexample()
+        assert ce.file_name() == f"hot_key__{ce.adversary.fingerprint()}.json"
+
+
+class TestArchive:
+    def test_archive_and_load_round_trip(self, tmp_path):
+        ce = make_counterexample()
+        (path,) = archive_counterexamples([ce], tmp_path)
+        assert path == tmp_path / ce.file_name()
+        assert load_counterexample(path) == ce
+
+    def test_archiving_twice_is_byte_identical(self, tmp_path):
+        ce = make_counterexample()
+        (path,) = archive_counterexamples([ce], tmp_path / "a")
+        (other,) = archive_counterexamples([ce], tmp_path / "b")
+        assert path.read_bytes() == other.read_bytes()
+
+    def test_non_finite_metrics_round_trip(self, tmp_path):
+        ce = make_counterexample()
+        ce = Counterexample(adversary=ce.adversary, spec=ce.spec,
+                            verdict=ce.verdict,
+                            metrics={**ce.metrics, "ratio": math.inf})
+        (path,) = archive_counterexamples([ce], tmp_path)
+        assert load_counterexample(path).metrics["ratio"] == math.inf
+
+    def test_corpus_paths_are_sorted(self, tmp_path):
+        for name in ("b.json", "a.json", "c.txt"):
+            (tmp_path / name).write_text("{}")
+        assert [p.name for p in corpus_paths(tmp_path)] == ["a.json", "b.json"]

@@ -1,0 +1,114 @@
+"""Tests for the failure predicates (the fuzzer's oracle)."""
+
+import pytest
+
+from repro.analytic.references import reference_optimum
+from repro.experiments.config import ExperimentScale
+from repro.fuzz.adversaries import (
+    ClassMixFlipAdversary,
+    HotKeyAdversary,
+    SizeSpikeAdversary,
+)
+from repro.fuzz.oracle import FailureThresholds, Verdict, rescue_score, score_run
+from repro.tp.workload import mixed_class_params
+
+SCALE = ExperimentScale.smoke()
+
+
+def hot_key_cell():
+    return HotKeyAdversary().lower(SCALE)
+
+
+class TestThresholds:
+    def test_defaults_validate(self):
+        thresholds = FailureThresholds()
+        assert 0.0 < thresholds.rescue_fraction < 1.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rescue_fraction": 0.0},
+        {"rescue_fraction": 1.0},
+        {"livelock_ratio": 0.0},
+        {"min_commit_rate": -1.0},
+    ])
+    def test_out_of_range_values_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FailureThresholds(**kwargs)
+
+
+class TestRescueScore:
+    def test_stationary_cells_score_against_the_analytic_peak(self):
+        cell = hot_key_cell()
+        name, _optimal, peak = reference_optimum(cell.params, cell.cc)
+        fraction, reference = rescue_score(cell, {"throughput": peak / 2.0})
+        assert fraction == pytest.approx(0.5)
+        assert reference == name
+
+    def test_tracking_cells_reuse_the_throughput_ratio_metric(self):
+        cell = SizeSpikeAdversary().lower(SCALE)
+        fraction, _ = rescue_score(cell, {"throughput_ratio": 0.42})
+        assert fraction == pytest.approx(0.42)
+
+    def test_tracking_cells_without_the_metric_score_zero(self):
+        cell = SizeSpikeAdversary().lower(SCALE)
+        fraction, _ = rescue_score(cell, {})
+        assert fraction == 0.0
+
+    def test_mixed_class_cells_score_against_the_mix_expectation(self):
+        cell = ClassMixFlipAdversary().lower(SCALE)
+        expected_workload = mixed_class_params(cell.params.workload,
+                                               cell.workload_classes)
+        _, _, peak = reference_optimum(cell.params, cell.cc,
+                                       workload=expected_workload)
+        fraction, _ = rescue_score(cell, {"throughput": peak})
+        assert fraction == pytest.approx(1.0)
+
+
+class TestScoreRun:
+    def test_healthy_run_passes(self):
+        cell = hot_key_cell()
+        _, _, peak = reference_optimum(cell.params, cell.cc)
+        verdict = score_run(cell, {"throughput": peak * 0.8, "commits": 100.0})
+        assert not verdict.failed
+        assert verdict.reasons == ()
+
+    def test_rescue_failure_triggers_below_the_fraction(self):
+        cell = hot_key_cell()
+        _, _, peak = reference_optimum(cell.params, cell.cc)
+        verdict = score_run(cell, {"throughput": peak * 0.1, "commits": 10.0})
+        assert verdict.failed
+        assert "rescue" in verdict.reasons
+
+    def test_livelock_triggers_when_displacement_dwarfs_commits(self):
+        cell = hot_key_cell()
+        _, _, peak = reference_optimum(cell.params, cell.cc)
+        metrics = {"throughput": peak * 0.8, "commits": 10.0, "displaced": 100.0}
+        verdict = score_run(cell, metrics)
+        assert verdict.reasons == ("livelock",)
+
+    def test_no_displacement_counter_means_no_livelock_verdict(self):
+        cell = hot_key_cell()
+        _, _, peak = reference_optimum(cell.params, cell.cc)
+        verdict = score_run(cell, {"throughput": peak * 0.8, "commits": 10.0})
+        assert "livelock" not in verdict.reasons
+
+    def test_collapse_triggers_below_the_minimum_commit_rate(self):
+        cell = hot_key_cell()
+        verdict = score_run(cell, {"throughput": 0.1, "commits": 1.0})
+        assert "collapse" in verdict.reasons
+
+    def test_thresholds_are_honoured(self):
+        cell = hot_key_cell()
+        _, _, peak = reference_optimum(cell.params, cell.cc)
+        strict = FailureThresholds(rescue_fraction=0.9)
+        verdict = score_run(cell, {"throughput": peak * 0.8, "commits": 100.0},
+                            strict)
+        assert verdict.reasons == ("rescue",)
+
+    def test_verdict_round_trips_through_jsonable(self):
+        verdict = Verdict(cell_id="fuzz/hot_key/abc", failed=True,
+                          reasons=("rescue", "collapse"), throughput=0.1,
+                          throughput_fraction=0.05, reference="TayModel")
+        data = verdict.to_jsonable()
+        assert data["reasons"] == ["rescue", "collapse"]
+        assert data["failed"] is True
+        assert data["cell_id"] == "fuzz/hot_key/abc"

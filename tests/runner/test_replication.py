@@ -18,8 +18,33 @@ class TestTCritical:
         assert t_critical(4) == pytest.approx(2.776)
         assert t_critical(30) == pytest.approx(2.042)
 
-    def test_normal_fallback_beyond_table(self):
-        assert t_critical(1000) == pytest.approx(1.960)
+    def test_breakpoints_beyond_dense_table(self):
+        # the textbook df = 40/60/120 rows are hit exactly
+        assert t_critical(40) == pytest.approx(2.021)
+        assert t_critical(60) == pytest.approx(2.000)
+        assert t_critical(120) == pytest.approx(1.980)
+        assert t_critical(40, confidence=0.90) == pytest.approx(1.684)
+        assert t_critical(120, confidence=0.99) == pytest.approx(2.617)
+
+    def test_interpolation_stays_between_neighbouring_knots(self):
+        # df 31..39 interpolate between t(30)=2.042 and t(40)=2.021; the true
+        # quantiles (e.g. t(35)=2.030) sit in that band, not at z=1.960
+        for df in range(31, 40):
+            assert 2.021 < t_critical(df) < 2.042
+        assert t_critical(35) == pytest.approx(2.030, abs=2e-3)
+        # df 61..119 between t(60) and t(120); t(100)=1.984
+        assert t_critical(100) == pytest.approx(1.984, abs=2e-3)
+
+    def test_monotone_decrease_toward_normal_quantile(self):
+        # the fix for the old behaviour (z for every df > 30, anticonservative
+        # by up to ~4%): the value now decreases monotonically toward z and
+        # never dips below it
+        for confidence, z_value in ((0.90, 1.645), (0.95, 1.960), (0.99, 2.576)):
+            values = [t_critical(df, confidence=confidence)
+                      for df in (30, 31, 35, 40, 50, 60, 90, 120, 240, 1000, 10**6)]
+            assert values == sorted(values, reverse=True)
+            assert all(value > z_value for value in values)
+            assert t_critical(10**9, confidence=confidence) == pytest.approx(z_value, abs=1e-6)
 
     def test_other_confidences(self):
         assert t_critical(4, confidence=0.90) == pytest.approx(2.132)

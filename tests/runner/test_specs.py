@@ -1,9 +1,12 @@
 """Tests for the runner's picklable experiment descriptors."""
 
+import json
 import pickle
 
 import pytest
 
+from repro.cc.registry import CCSpec
+from repro.core.displacement import DisplacementPolicy, VictimCriterion
 from repro.core.incremental_steps import IncrementalStepsController
 from repro.core.parabola import ParabolaController
 from repro.core.static import FixedLimit, NoControl
@@ -16,6 +19,15 @@ from repro.runner.specs import (
     RunSpec,
     SweepSpec,
     controller_kinds,
+    run_spec_from_jsonable,
+    run_spec_to_jsonable,
+)
+from repro.tp.workload import (
+    ConstantSchedule,
+    JumpSchedule,
+    SinusoidSchedule,
+    StepSchedule,
+    TransactionClassSpec,
 )
 
 
@@ -149,3 +161,101 @@ class TestSweepSpec:
         # aggregate downstream, silently mixing unrelated samples
         with pytest.raises(ValueError, match="duplicate cell"):
             SweepSpec(name="s", cells=(_stationary_spec(), _stationary_spec()))
+
+
+class TestRunSpecJsonRoundTrip:
+    def _tracking_spec(self, **overrides):
+        parameter, schedule = jump_scenario(
+            parameter="accesses", before=8, after=16, jump_time=10.0)
+        settings = dict(
+            kind=KIND_TRACKING,
+            cell_id="test/tracking/jump",
+            params=default_system_params(),
+            scale=ExperimentScale.smoke(),
+            controller=ControllerSpec.make("incremental_steps", beta=1.5),
+            scenario=(parameter, schedule),
+            label="tracking",
+        )
+        settings.update(overrides)
+        return RunSpec(**settings)
+
+    def test_stationary_spec_round_trips_exactly(self):
+        spec = _stationary_spec(
+            controller=ControllerSpec.make("parabola", forgetting=0.8))
+        clone = run_spec_from_jsonable(run_spec_to_jsonable(spec))
+        assert clone == spec
+
+    def test_tracking_spec_round_trips_exactly(self):
+        spec = self._tracking_spec()
+        clone = run_spec_from_jsonable(run_spec_to_jsonable(spec))
+        assert clone == spec
+
+    def test_every_schedule_type_round_trips(self):
+        schedules = (
+            ConstantSchedule(8.0),
+            JumpSchedule(before=4, after=20, jump_time=12.5),
+            StepSchedule(initial=8, steps=[(5.0, 16.0), (10.0, 4.0)]),
+            SinusoidSchedule(mean=10.0, amplitude=4.0, period=30.0, phase=2.0),
+        )
+        for schedule in schedules:
+            spec = self._tracking_spec(scenario=("accesses", schedule))
+            clone = run_spec_from_jsonable(run_spec_to_jsonable(spec))
+            assert clone.scenario[1] == schedule, type(schedule).__name__
+
+    def test_rich_spec_round_trips_exactly(self):
+        spec = _stationary_spec(
+            controller=ControllerSpec.make("incremental_steps"),
+            displacement=DisplacementPolicy(
+                criterion=VictimCriterion.QUERIES_FIRST, hysteresis=2.0),
+            workload_classes=(
+                TransactionClassSpec(name="oltp", weight=3.0,
+                                     accesses_per_txn=4, write_fraction=0.6),
+                TransactionClassSpec(name="query", weight=1.0,
+                                     accesses_per_txn=20),
+            ),
+            cc=CCSpec.make("occ_forward"),
+            scheme_diagnostics=True,
+            replicate=2,
+        )
+        encoded = run_spec_to_jsonable(spec)
+        # the encoding itself must be pure JSON: a dump/load cycle is lossless
+        decoded = json.loads(json.dumps(encoded))
+        clone = run_spec_from_jsonable(decoded)
+        assert clone == spec
+
+    def test_encoding_is_json_serialisable_and_stable(self):
+        spec = self._tracking_spec()
+        first = json.dumps(run_spec_to_jsonable(spec), sort_keys=True)
+        second = json.dumps(run_spec_to_jsonable(spec), sort_keys=True)
+        assert first == second
+
+    def test_callable_controller_rejected(self):
+        spec = _stationary_spec(controller=NoControl)
+        with pytest.raises(ValueError, match="ControllerSpec"):
+            run_spec_to_jsonable(spec)
+
+    def test_callable_cc_rejected(self):
+        def factory(sim):
+            raise NotImplementedError
+
+        spec = _stationary_spec(cc=factory)
+        with pytest.raises(ValueError, match="CCSpec"):
+            run_spec_to_jsonable(spec)
+
+    def test_non_scalar_option_rejected(self):
+        spec = _stationary_spec(
+            controller=ControllerSpec.make("fixed", limit=[1, 2]))
+        with pytest.raises(ValueError, match="JSON scalar"):
+            run_spec_to_jsonable(spec)
+
+    def test_unknown_format_rejected(self):
+        encoded = run_spec_to_jsonable(_stationary_spec())
+        encoded["format"] = 999
+        with pytest.raises(ValueError, match="format"):
+            run_spec_from_jsonable(encoded)
+
+    def test_unknown_schedule_type_rejected(self):
+        encoded = run_spec_to_jsonable(self._tracking_spec())
+        encoded["scenario"]["schedule"]["type"] = "sawtooth"
+        with pytest.raises(ValueError, match="sawtooth"):
+            run_spec_from_jsonable(encoded)

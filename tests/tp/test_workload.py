@@ -17,6 +17,7 @@ from repro.tp.workload import (
     StepSchedule,
     TransactionClassSpec,
     Workload,
+    mixed_class_params,
 )
 
 
@@ -43,6 +44,14 @@ class TestSchedules:
     def test_step_schedule_sorts_breakpoints(self):
         schedule = StepSchedule(initial=0.0, steps=[(20.0, 2.0), (10.0, 1.0)])
         assert schedule.value(15.0) == 1.0
+
+    def test_step_schedule_rejects_duplicate_times(self):
+        # with two breakpoints at the same time the effective value would
+        # depend on input order (sorted() is stable); reject instead
+        with pytest.raises(ValueError, match="distinct times"):
+            StepSchedule(initial=0.0, steps=[(10.0, 1.0), (10.0, 2.0)])
+        with pytest.raises(ValueError, match="10"):
+            StepSchedule(initial=0.0, steps=[(20.0, 3.0), (10, 1.0), (10.0, 2.0)])
 
     def test_sinusoid_schedule_range_and_period(self):
         schedule = SinusoidSchedule(mean=10.0, amplitude=3.0, period=40.0)
@@ -247,6 +256,35 @@ class TestMixedClassWorkload:
         # 0.75 * 4 + 0.25 * 20 = 8 accesses expected per transaction
         assert params.accesses_per_txn == 8
         assert params.query_fraction == pytest.approx(0.25)
+        # regression: params_at used to keep base.write_fraction (0.5 for
+        # the default WorkloadParams) instead of the mix's updater ratio
+        assert params.write_fraction == pytest.approx(0.6)
+
+    def test_params_at_averages_updater_write_fractions_by_weight(self):
+        heavy = TransactionClassSpec(name="heavy", weight=1.0,
+                                     accesses_per_txn=4, write_fraction=0.9)
+        light = TransactionClassSpec(name="light", weight=3.0,
+                                     accesses_per_txn=4, write_fraction=0.1)
+        workload = MixedClassWorkload(WorkloadParams(), RandomStreams(seed=3),
+                                      (heavy, light, self.QUERY))
+        # queries carry no write information: average over updaters only,
+        # (1*0.9 + 3*0.1) / 4 = 0.3
+        assert workload.params_at(0.0).write_fraction == pytest.approx(0.3)
+
+    def test_query_only_mix_keeps_base_write_fraction(self):
+        base = WorkloadParams(write_fraction=0.5)
+        params = mixed_class_params(base, (self.QUERY,))
+        assert params.write_fraction == 0.5
+        assert params.query_fraction == 1.0
+
+    def test_mixed_class_params_helper_matches_workload(self):
+        base = WorkloadParams()
+        expected = mixed_class_params(base, (self.OLTP, self.QUERY))
+        workload = MixedClassWorkload(base, RandomStreams(seed=5),
+                                      (self.OLTP, self.QUERY))
+        assert workload.params_at(0.0) == expected
+        with pytest.raises(ValueError, match="at least one"):
+            mixed_class_params(base, ())
 
     def test_same_streams_same_transactions(self):
         left, right = self._workload(seed=11), self._workload(seed=11)

@@ -59,15 +59,24 @@ def reference_model_name(cc: Optional[object]) -> str:
 
 
 def reference_model_for(params: "SystemParams",
-                        cc: Optional[object]) -> Tuple[str, object]:
+                        cc: Optional[object],
+                        waiting_share: Optional[float] = None,
+                        ) -> Tuple[str, object]:
     """Build the scheme-aware analytic reference for one cell.
 
     Returns ``(name, model)`` where ``model`` offers ``throughput(mpl)``
     and ``optimal_mpl()`` — the interface both
     :class:`~repro.analytic.occ.OccModel` and
     :class:`~repro.analytic.tay.TayThroughputModel` share.
+    ``waiting_share`` calibrates the Tay reference from *measured*
+    lock-wait statistics (see :func:`repro.obs.calibration.measured_wait_share`);
+    ``None`` keeps the model's default and is ignored by the optimistic
+    reference, which has no such knob.
     """
     if reference_family(cc) == "locking":
+        if waiting_share is not None:
+            return TAY_REFERENCE, TayThroughputModel(
+                params, waiting_share=waiting_share)
         return TAY_REFERENCE, TayThroughputModel(params)
     return OCC_REFERENCE, OccModel(params)
 

@@ -122,5 +122,15 @@ class ConcurrencyControl(ABC):
         """Number of executions currently registered (begin without end)."""
         return 0
 
+    def wait_depth(self) -> int:
+        """Number of transactions currently blocked inside the scheme.
+
+        The lock-queue-depth probe hook (:mod:`repro.obs.probes`): blocking
+        schemes override this with the size of their waits-for structure;
+        non-blocking schemes never park a transaction, so the default 0 is
+        exact for them.
+        """
+        return 0
+
     def reset(self) -> None:
         """Forget all state (used between experiment repetitions)."""

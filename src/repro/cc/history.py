@@ -240,6 +240,10 @@ class RecordingConcurrencyControl(ConcurrencyControl):
         """The wrapped scheme's registration count, unchanged."""
         return self.inner.active_count()
 
+    def wait_depth(self) -> int:
+        """The wrapped scheme's blocked-transaction count, unchanged."""
+        return self.inner.wait_depth()
+
     def reset(self) -> None:
         """Reset scheme AND recorder: repetitions must not share a history.
 

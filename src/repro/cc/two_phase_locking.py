@@ -153,6 +153,10 @@ class LockingScheme(ConcurrencyControl):
         active.update(self._waiting_for_item)
         return len(active)
 
+    def wait_depth(self) -> int:
+        """Transactions blocked on a lock (the waits-for structure's size)."""
+        return self.blocked_count
+
     def reset(self) -> None:
         """Drop the whole lock table (between experiment repetitions)."""
         self._locks.clear()

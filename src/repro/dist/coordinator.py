@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import collections
+import logging
 import socket
 import threading
 import time
@@ -48,6 +49,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Iterator, List, Optional, TypeVar
 
 from repro.dist import protocol
+from repro.obs import telemetry
 from repro.dist.protocol import (
     MSG_HEARTBEAT,
     MSG_HELLO,
@@ -63,11 +65,14 @@ from repro.dist.protocol import (
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
 
+logger = logging.getLogger("repro.dist.coordinator")
+
 
 class _WorkerState:
     """Coordinator-side bookkeeping for one connected worker."""
 
-    __slots__ = ("name", "sock", "send_lock", "in_flight", "cells_done")
+    __slots__ = ("name", "sock", "send_lock", "in_flight", "cells_done",
+                 "dispatched_at", "last_recv", "max_gap")
 
     def __init__(self, name: str, sock: socket.socket):
         self.name = name
@@ -77,6 +82,18 @@ class _WorkerState:
         #: (generation, item index) while a task is out, else None
         self.in_flight = None
         self.cells_done = 0
+        #: monotonic dispatch time of the in-flight cell (telemetry)
+        self.dispatched_at = 0.0
+        #: monotonic time of the last message received from this worker
+        self.last_recv = time.monotonic()
+        #: largest observed silence between two messages (heartbeat gap)
+        self.max_gap = 0.0
+
+    def observe_recv(self) -> None:
+        """A message arrived: update the heartbeat-gap statistics."""
+        now = time.monotonic()
+        self.max_gap = max(self.max_gap, now - self.last_recv)
+        self.last_recv = now
 
     def send(self, message) -> None:
         with self.send_lock:
@@ -87,7 +104,7 @@ class _SweepState:
     """One ``map`` call: the work queue and the reassembly buffer."""
 
     __slots__ = ("generation", "function", "items", "pending", "results",
-                 "error", "last_progress")
+                 "error", "last_progress", "queued_since")
 
     def __init__(self, generation: int, function, items):
         self.generation = generation
@@ -98,6 +115,10 @@ class _SweepState:
         self.results = {}
         self.error: Optional[BaseException] = None
         self.last_progress = time.monotonic()
+        #: item index -> monotonic time it (re-)entered the queue; the
+        #: dispatch telemetry span reports the difference as queue_wait
+        now = self.last_progress
+        self.queued_since = {index: now for index in range(len(items))}
 
 
 class DistributedExecutor:
@@ -284,6 +305,8 @@ class DistributedExecutor:
                 if self._sweep is not None:
                     self._sweep.last_progress = time.monotonic()
                 self._state.notify_all()
+            logger.info("worker %s joined", worker.name)
+            telemetry.emit("worker_join", peer=worker.name)
             self._worker_loop(worker)
         except (ConnectionClosed, ProtocolError, OSError, EOFError):
             # a vanished or misbehaving worker is an expected event; its
@@ -295,6 +318,12 @@ class DistributedExecutor:
                     self._workers.discard(worker)
                     self._requeue_in_flight(worker)
                 self._state.notify_all()
+            if worker is not None:
+                logger.info("worker %s left after %d cell(s)",
+                            worker.name, worker.cells_done)
+                telemetry.emit("worker_leave", peer=worker.name,
+                               cells=worker.cells_done,
+                               max_heartbeat_gap=worker.max_gap)
             try:
                 sock.close()
             except OSError:  # pragma: no cover - platform dependent
@@ -317,6 +346,10 @@ class DistributedExecutor:
             # otherwise losing the only worker deep into a long cell makes
             # the timer fire before a replacement had its full grace period
             sweep.last_progress = time.monotonic()
+            sweep.queued_since[index] = sweep.last_progress
+            logger.warning("requeued cell %d from lost worker %s",
+                           index, worker.name)
+            telemetry.emit("requeue", peer=worker.name, index=index)
 
     def _next_task(self, worker: _WorkerState):
         """Block until a cell can be assigned; None means shut down."""
@@ -328,8 +361,9 @@ class DistributedExecutor:
                 if sweep is not None and sweep.error is None and sweep.pending:
                     index = sweep.pending.popleft()
                     worker.in_flight = (sweep.generation, index)
+                    queued_at = sweep.queued_since.pop(index, time.monotonic())
                     return (sweep.generation, index, sweep.function,
-                            sweep.items[index])
+                            sweep.items[index], queued_at)
                 self._state.wait()
 
     def _worker_loop(self, worker: _WorkerState) -> None:
@@ -339,6 +373,7 @@ class DistributedExecutor:
             # so the heartbeat timeout applies here too
             sock.settimeout(self._heartbeat_timeout)
             message = protocol.recv_message(sock)
+            worker.observe_recv()
             kind = message[0]
             if kind == MSG_HEARTBEAT:
                 continue
@@ -348,13 +383,17 @@ class DistributedExecutor:
             if task is None:
                 worker.send((MSG_SHUTDOWN,))
                 raise ConnectionClosed("executor closed")
-            generation, index, function, item = task
+            generation, index, function, item, queued_at = task
+            worker.dispatched_at = time.monotonic()
             worker.send((MSG_TASK, generation, index, function, item))
+            telemetry.emit("dispatch", peer=worker.name, index=index,
+                           queue_wait=worker.dispatched_at - queued_at)
             # await the result; heartbeats keep the connection trusted
             # while the (possibly minutes-long) cell executes remotely
             while True:
                 sock.settimeout(self._heartbeat_timeout)
                 message = protocol.recv_message(sock)
+                worker.observe_recv()
                 kind = message[0]
                 if kind == MSG_HEARTBEAT:
                     continue
@@ -370,6 +409,9 @@ class DistributedExecutor:
                         # a stale generation means the sweep this cell
                         # belonged to is gone; drop the payload silently
                         self._state.notify_all()
+                    telemetry.emit(
+                        "cell_result", peer=worker.name, index=index,
+                        duration=time.monotonic() - worker.dispatched_at)
                     break
                 if kind == MSG_TASK_ERROR:
                     _, generation, index, error = message
@@ -420,7 +462,12 @@ def main(argv=None) -> int:
                         help="write a versioned JSON archive artifact into DIR")
     parser.add_argument("--confidence", type=float, default=0.95,
                         help="confidence level of the CI aggregation (default: 0.95)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="log warnings and errors only")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log debug diagnostics")
     args = parser.parse_args(argv)
+    telemetry.configure_cli_logging(verbose=args.verbose, quiet=args.quiet)
 
     from repro.experiments.config import ExperimentScale
     from repro.experiments.report import format_aggregate_table
@@ -437,7 +484,7 @@ def main(argv=None) -> int:
         heartbeat_timeout=args.heartbeat_timeout,
         worker_timeout=args.worker_wait,
     )
-    print(f"coordinator listening on {executor.bound_address}")
+    logger.info("coordinator listening on %s", executor.bound_address)
     local_processes = []
     try:
         if args.local_workers:
@@ -448,18 +495,20 @@ def main(argv=None) -> int:
             )
         executor.wait_for_workers(max(args.min_workers, 1),
                                   timeout=args.worker_wait)
-        print(f"{executor.workers} worker(s) connected; running "
-              f"{args.scenario!r} at {args.scale} scale, "
-              f"replicates={args.replicates}")
+        logger.info("%d worker(s) connected; running %r at %s scale, "
+                    "replicates=%d", executor.workers, args.scenario,
+                    args.scale, args.replicates)
         started = time.monotonic()
         result = run_sweep(args.scenario, scale=scale,
                            replicates=args.replicates, executor=executor,
                            confidence=args.confidence)
         elapsed = time.monotonic() - started
         cells = len(result.results)
-        print(f"{cells} cells in {elapsed:.1f}s "
-              f"({cells / elapsed:.2f} cells/s)" if elapsed > 0 else
-              f"{cells} cells")
+        if elapsed > 0:
+            logger.info("%d cells in %.1fs (%.2f cells/s)",
+                        cells, elapsed, cells / elapsed)
+        else:
+            logger.info("%d cells", cells)
         print(format_aggregate_table(result.aggregates))
         if args.archive is not None:
             from repro.dist.archive import build_archive, write_archive
@@ -468,7 +517,7 @@ def main(argv=None) -> int:
                                     scale_name=args.scale,
                                     confidence=args.confidence)
             path = write_archive(archive, args.archive)
-            print(f"archive written to {path}")
+            logger.info("archive written to %s", path)
     finally:
         executor.close()
         for process in local_processes:

@@ -26,6 +26,7 @@ flight.
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import socket
 import threading
@@ -33,6 +34,7 @@ import time
 from typing import Optional
 
 from repro.dist import protocol
+from repro.obs import telemetry
 from repro.dist.protocol import (
     MSG_HEARTBEAT,
     MSG_HELLO,
@@ -45,6 +47,8 @@ from repro.dist.protocol import (
     ProtocolError,
 )
 from repro.runner.errors import CellExecutionError, run_with_cell_context
+
+logger = logging.getLogger("repro.dist.worker")
 
 
 class Worker:
@@ -94,6 +98,9 @@ class Worker:
         the loop cleanly (the results it missed are simply lost — it is
         the coordinator that owns re-queueing, not the worker).
         """
+        # telemetry spans emitted while executing cells (cell_execute) carry
+        # the worker's announced name, matching the coordinator's logs
+        telemetry.set_worker_name(self.name)
         sock = self._connect()
         send_lock = threading.Lock()
 
@@ -171,7 +178,12 @@ def main(argv=None) -> int:
     # fault injection for the fault-tolerance tests; hidden from --help
     parser.add_argument("--fail-after-cells", type=int, default=None,
                         help=argparse.SUPPRESS)
+    parser.add_argument("--quiet", action="store_true",
+                        help="log warnings and errors only")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log debug diagnostics")
     args = parser.parse_args(argv)
+    telemetry.configure_cli_logging(verbose=args.verbose, quiet=args.quiet)
 
     worker = Worker(
         args.connect,
@@ -181,7 +193,7 @@ def main(argv=None) -> int:
         fail_after_cells=args.fail_after_cells,
     )
     cells = worker.run()
-    print(f"worker {worker.name}: executed {cells} cell(s)")
+    logger.info("worker %s: executed %d cell(s)", worker.name, cells)
     return 0
 
 

@@ -65,6 +65,10 @@ class StationaryPoint:
     #: (:data:`~repro.cc.history.ANOMALY_KINDS`); populated only when the
     #: run was asked for isolation diagnostics, empty otherwise
     anomalies: Dict[str, int] = field(default_factory=dict)
+    #: in-sim probe metrics (``probe_<name>`` keys, already prefixed);
+    #: populated only when the run opted into probes, empty otherwise —
+    #: see :mod:`repro.obs.probes`
+    probe_metrics: Dict[str, float] = field(default_factory=dict)
 
     def as_tuple(self) -> Tuple[float, float]:
         """The (load, throughput) pair used by the curve helpers."""
@@ -113,7 +117,8 @@ def run_stationary_point(params: SystemParams,
                          streams: Optional[RandomStreams] = None,
                          workload_classes: Optional[Sequence[TransactionClassSpec]] = None,
                          cc: Optional[object] = None,
-                         isolation_diagnostics: bool = False
+                         isolation_diagnostics: bool = False,
+                         probes: Optional[Sequence[str]] = None
                          ) -> StationaryPoint:
     """Run one stationary simulation and summarise it.
 
@@ -134,6 +139,11 @@ def run_stationary_point(params: SystemParams,
     (:class:`~repro.cc.history.RecordingConcurrencyControl`) and fills
     :attr:`StationaryPoint.anomalies` with the per-kind counts of
     :func:`~repro.cc.history.classify_anomalies`.
+    ``probes`` names in-sim probes (:data:`~repro.obs.probes.PROBE_NAMES`)
+    to attach to the run; their measured-window readouts fill
+    :attr:`StationaryPoint.probe_metrics` as ``probe_<name>`` keys.  The
+    probe set is trajectory-preserving: all other fields of the returned
+    point are unchanged by probing.
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be positive, got {horizon}")
@@ -154,8 +164,13 @@ def run_stationary_point(params: SystemParams,
         scheme = RecordingConcurrencyControl(
             scheme if scheme is not None else TimestampCertification(sim),
             recorder)
+    probe_set = None
+    if probes is not None:
+        from repro.obs.probes import ProbeSet
+
+        probe_set = ProbeSet(probes, interval=measurement_interval)
     system = TransactionSystem(params, sim=sim, streams=streams, workload=workload,
-                               cc=scheme)
+                               cc=scheme, probes=probe_set)
     measurement: Optional[MeasurementProcess] = None
     if controller_factory is not None:
         controller = controller_factory(params)
@@ -169,6 +184,8 @@ def run_stationary_point(params: SystemParams,
     system.cpus.reset_statistics()
     system.gate.reset_statistics()
     measured_from = system.sim.now
+    if probe_set is not None:
+        probe_set.reset(measured_from)
     system.run(until=warmup + horizon)
 
     anomalies: Dict[str, int] = {}
@@ -190,6 +207,8 @@ def run_stationary_point(params: SystemParams,
         aborts_by_reason={reason.value: count for reason, count
                           in metrics.aborts_by_reason.items()},
         anomalies=anomalies,
+        probe_metrics=(probe_set.metrics(system.sim.now)
+                       if probe_set is not None else {}),
     )
 
 
@@ -201,7 +220,8 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
                           workload_classes: Optional[Sequence[TransactionClassSpec]] = None,
                           cc: Optional[object] = None,
                           scheme_diagnostics: bool = False,
-                          isolation_diagnostics: bool = False):
+                          isolation_diagnostics: bool = False,
+                          probes: Optional[Sequence[str]] = None):
     """Build the runner :class:`~repro.runner.specs.SweepSpec` of one curve.
 
     ``controller`` may be ``None`` (uncontrolled), a
@@ -219,6 +239,9 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
     through the isolation oracle and reports per-kind anomaly counts
     (``anomalies_<kind>`` metrics) — see
     :attr:`~repro.runner.specs.RunSpec.isolation_diagnostics`.
+    ``probes`` attaches the named in-sim probes to every cell
+    (``probe_<name>`` metrics) — see
+    :attr:`~repro.runner.specs.RunSpec.probes`.
     """
     from repro.runner.specs import KIND_STATIONARY, RunSpec, SweepSpec
 
@@ -239,6 +262,7 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
             cc=cc,
             scheme_diagnostics=scheme_diagnostics,
             isolation_diagnostics=isolation_diagnostics,
+            probes=tuple(probes) if probes is not None else None,
         )
         for offered_load in scale.offered_loads
     )

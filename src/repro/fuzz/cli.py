@@ -16,6 +16,7 @@ still finds its pinned failures.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -25,6 +26,9 @@ from repro.fuzz.adversaries import adversary_kinds
 from repro.fuzz.corpus import archive_counterexamples
 from repro.fuzz.executor import run_campaign
 from repro.fuzz.oracle import FailureThresholds
+from repro.obs.telemetry import configure_cli_logging
+
+logger = logging.getLogger("repro.fuzz")
 
 _SCALES = {
     "smoke": ExperimentScale.smoke,
@@ -59,19 +63,26 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="fail below this commit rate per simulated second (default: 0.5)")
     parser.add_argument("--expect-counterexample", action="store_true",
                         help="exit 1 if the campaign finds no counterexample")
+    parser.add_argument("--quiet", action="store_true",
+                        help="log warnings and errors only")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log debug diagnostics")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run one fuzz campaign from the command line."""
     args = _build_parser().parse_args(argv)
+    configure_cli_logging(verbose=args.verbose, quiet=args.quiet)
     thresholds = FailureThresholds(
         rescue_fraction=args.rescue_fraction,
         livelock_ratio=args.livelock_ratio,
         min_commit_rate=args.min_commit_rate,
     )
-    print(f"repro-fuzz: seed={args.seed} budget={args.budget} "
-          f"scale={args.scale} workers={args.workers}")
+    # progress diagnostics go through logging; the verdict lines, summary
+    # and archive paths below are the CLI's contract and stay on stdout
+    logger.info("seed=%d budget=%d scale=%s workers=%d",
+                args.seed, args.budget, args.scale, args.workers)
     report = run_campaign(
         seed=args.seed,
         budget=args.budget,

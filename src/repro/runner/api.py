@@ -187,6 +187,8 @@ def _mean_stationary_point(point_type, spec: RunSpec, aggregate: CellAggregate):
         anomalies={name[len("anomalies_"):]: int(round(value))
                    for name, value in mean.items()
                    if name.startswith("anomalies_")},
+        probe_metrics={name: value for name, value in mean.items()
+                       if name.startswith("probe_")},
     )
 
 

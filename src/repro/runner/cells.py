@@ -14,6 +14,7 @@ module-level import in either direction would be circular.
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -65,7 +66,31 @@ def replicate_streams(seed: int, replicate: int) -> RandomStreams:
 
 
 def execute_run_spec(spec: RunSpec) -> CellResult:
-    """Run one cell and summarise it (the executor-mapped worker function)."""
+    """Run one cell and summarise it (the executor-mapped worker function).
+
+    When a telemetry sink is active (:mod:`repro.obs.telemetry`) the call is
+    wrapped in a ``cell_execute`` span attributing the cell's wall-clock
+    execute time to this worker process; the clock is only read when a sink
+    is installed, so untelemetered runs pay a single ``None`` check.
+    """
+    from repro.obs import telemetry
+
+    sink = telemetry.active_sink()
+    if sink is None:
+        return _execute_cell(spec)
+    started = time.monotonic()
+    result = _execute_cell(spec)
+    telemetry.emit(
+        "cell_execute",
+        cell_id=spec.cell_id,
+        replicate=spec.replicate,
+        kind=spec.kind,
+        duration=time.monotonic() - started,
+    )
+    return result
+
+
+def _execute_cell(spec: RunSpec) -> CellResult:
     if spec.kind == KIND_STATIONARY:
         return _execute_stationary(spec)
     if spec.kind == KIND_TRACKING:
@@ -86,6 +111,7 @@ def _execute_stationary(spec: RunSpec) -> CellResult:
         workload_classes=spec.workload_classes,
         cc=spec.cc,
         isolation_diagnostics=spec.isolation_diagnostics,
+        probes=spec.probes,
     )
     metrics = {
         "throughput": point.throughput,
@@ -113,6 +139,10 @@ def _execute_stationary(spec: RunSpec) -> CellResult:
         for anomaly_kind in ANOMALY_KINDS:
             metrics[f"anomalies_{anomaly_kind}"] = float(
                 point.anomalies.get(anomaly_kind, 0))
+    # probe readouts arrive already probe_-prefixed with a schema that is a
+    # pure function of the enabled probes, so they fold through the
+    # replicate aggregation like any other metric
+    metrics.update(point.probe_metrics)
     return CellResult(
         cell_id=spec.cell_id,
         kind=spec.kind,

@@ -25,12 +25,36 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Callable, Iterable, Iterator, List, Optional, TypeVar
 
+from repro.obs import telemetry
 from repro.runner.errors import CellErrorContext
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
+
+
+def _timed_execute(executor, kind: str,
+                   function: Callable[[ItemT], ResultT],
+                   items: Iterable[ItemT]) -> List[ResultT]:
+    """Collect ``executor.map`` results, in a ``sweep`` span when telemetered.
+
+    Only :meth:`execute` is instrumented — a lazy :meth:`map` generator has
+    no well-defined end to time.  Without an active sink no clock is read.
+    """
+    if telemetry.active_sink() is None:
+        return list(executor.map(function, items))
+    started = time.monotonic()
+    results = list(executor.map(function, items))
+    telemetry.emit(
+        "sweep",
+        executor=kind,
+        workers=executor.workers,
+        cells=len(results),
+        duration=time.monotonic() - started,
+    )
+    return results
 
 
 class SerialExecutor:
@@ -46,7 +70,7 @@ class SerialExecutor:
     def execute(self, function: Callable[[ItemT], ResultT],
                 items: Iterable[ItemT]) -> List[ResultT]:
         """Apply ``function`` to every item and return the ordered results."""
-        return list(self.map(function, items))
+        return _timed_execute(self, "serial", function, items)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialExecutor()"
@@ -96,7 +120,7 @@ class ParallelExecutor:
     def execute(self, function: Callable[[ItemT], ResultT],
                 items: Iterable[ItemT]) -> List[ResultT]:
         """Apply ``function`` to every item and return the ordered results."""
-        return list(self.map(function, items))
+        return _timed_execute(self, "parallel", function, items)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ParallelExecutor(workers={self.workers})"

@@ -2,8 +2,8 @@
 
 Each scenario maps a name (``cc_compare``, ``deadlock_resolution``,
 ``displacement_policies``, ``fig12_stationary``, ``fig13_is_jump``,
-``fig14_pa_jump``, ``isolation_tradeoff``, ``mixed_classes``, ``sinusoid``,
-``thrashing``) to a builder that produces
+``fig14_pa_jump``, ``isolation_tradeoff``, ``mixed_classes``,
+``probe_calibration``, ``sinusoid``, ``thrashing``) to a builder that produces
 the corresponding :class:`~repro.runner.specs.SweepSpec` for a given
 :class:`~repro.experiments.config.ExperimentScale`.  Benchmarks, examples
 and ad-hoc scripts all obtain their cells here, so "run Figure 12 at smoke
@@ -109,7 +109,8 @@ def _tracking_pa() -> ControllerSpec:
 def _stationary_cells(name: str, scale: ExperimentScale, base_params: SystemParams,
                       variants, workload_classes=None, cc=None,
                       scheme_diagnostics: bool = False,
-                      isolation_diagnostics: bool = False) -> SweepSpec:
+                      isolation_diagnostics: bool = False,
+                      probes=None) -> SweepSpec:
     """One stationary cell per (controller variant, offered load)."""
     cells = []
     for label, controller in variants:
@@ -117,7 +118,8 @@ def _stationary_cells(name: str, scale: ExperimentScale, base_params: SystemPara
             stationary_sweep_spec(base_params, controller, scale, label, name=name,
                                   workload_classes=workload_classes, cc=cc,
                                   scheme_diagnostics=scheme_diagnostics,
-                                  isolation_diagnostics=isolation_diagnostics).cells
+                                  isolation_diagnostics=isolation_diagnostics,
+                                  probes=probes).cells
         )
     return SweepSpec(name=name, cells=tuple(cells))
 
@@ -344,6 +346,41 @@ def _isolation_tradeoff(scale: ExperimentScale, base_params: Optional[SystemPara
                                        cc=cc, scheme_diagnostics=True,
                                        isolation_diagnostics=True).cells)
     return SweepSpec(name="isolation_tradeoff", cells=tuple(cells))
+
+
+@register_scenario(
+    "probe_calibration",
+    "The observability loop closed: a contended 2PL sweep with every built-in "
+    "probe on, whose measured lock-wait share calibrates the Tay reference",
+)
+def _probe_calibration(scale: ExperimentScale, base_params: Optional[SystemParams],
+                       db_size: int = 1500,
+                       write_fraction: float = 0.6,
+                       victim_policy: str = "youngest") -> SweepSpec:
+    """A probed 2PL sweep: the source data of Tay-model calibration.
+
+    The ``cc_compare`` workload tightening (1500 granules, write fraction
+    0.6) is reused so two-phase locking actually blocks — and therefore
+    has a measurable waiting share — at the standard offered-load grid.
+    Every cell opts into all built-in probes
+    (:data:`repro.obs.probes.PROBE_NAMES`), so the golden fixture pins the
+    complete ``probe_<name>`` metric surface: lock-wait statistics, the
+    measured waiting share that :func:`repro.obs.calibration.measured_wait_share`
+    feeds into the Tay reference, queue-depth and MPL trajectories, and the
+    per-reason abort rates.  Probes observe without perturbing, so the
+    throughput columns of this scenario are exactly what an unprobed run
+    of the same cells produces — a property the probe test suite asserts.
+    """
+    from repro.obs.probes import PROBE_NAMES
+
+    base = base_params or default_system_params(seed=47)
+    base = base.with_changes(workload=base.workload.with_changes(
+        db_size=db_size, write_fraction=write_fraction))
+    cc = CCSpec.make("two_phase_locking", victim_policy=victim_policy)
+    return _stationary_cells("probe_calibration", scale, base, [
+        ("without control", None),
+        ("IS control", ControllerSpec.make("incremental_steps")),
+    ], cc=cc, scheme_diagnostics=True, probes=PROBE_NAMES)
 
 
 @register_scenario(

@@ -226,6 +226,14 @@ class RunSpec:
     #: wrapper is trajectory-preserving, but the flag is opt-in for the
     #: same golden-stability reason as ``scheme_diagnostics``.
     isolation_diagnostics: bool = False
+    #: stationary runs only: in-sim probe names
+    #: (:data:`~repro.obs.probes.PROBE_NAMES`) to attach to the run; their
+    #: measured-window readouts surface as ``probe_<name>`` metrics on the
+    #: cell result.  ``None`` (the default) runs without probes; opt-in for
+    #: the same golden-stability reason as the diagnostics flags.  The
+    #: probe set itself is built inside the worker from these plain names,
+    #: which is how probes propagate to multiprocessing and dist workers.
+    probes: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_STATIONARY, KIND_TRACKING):
@@ -250,6 +258,12 @@ class RunSpec:
             raise ValueError(
                 "isolation_diagnostics is supported for stationary runs only"
             )
+        if self.probes is not None:
+            if self.kind != KIND_STATIONARY:
+                raise ValueError("probes are supported for stationary runs only")
+            from repro.obs.probes import validate_probes
+
+            object.__setattr__(self, "probes", validate_probes(self.probes))
         if self.cc is not None and not isinstance(self.cc, CCSpec) \
                 and not callable(self.cc):
             raise TypeError(
@@ -423,6 +437,10 @@ def run_spec_to_jsonable(spec: RunSpec) -> dict:
         "scheme_diagnostics": spec.scheme_diagnostics,
         "isolation_diagnostics": spec.isolation_diagnostics,
     }
+    # emitted only when set so every pre-probes archive (and the committed
+    # fuzz corpus, which CI compares byte-for-byte) stays byte-identical
+    if spec.probes is not None:
+        data["probes"] = list(spec.probes)
     return data
 
 
@@ -476,6 +494,7 @@ def run_spec_from_jsonable(data: dict) -> RunSpec:
         cc=cc,
         scheme_diagnostics=data["scheme_diagnostics"],
         isolation_diagnostics=data["isolation_diagnostics"],
+        probes=tuple(data["probes"]) if data.get("probes") else None,
     )
 
 

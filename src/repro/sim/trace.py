@@ -9,10 +9,15 @@ slot: :class:`TransactionSystem <repro.tp.system.TransactionSystem>` reads
 it once at construction time and afterwards pays only a ``None`` check per
 lifecycle event (never per kernel event).
 
-Tracing is process-local.  The multiprocessing executors do not propagate
-an installed tracer into worker processes; the golden harness therefore
-captures full event logs serially and checks the (equally deterministic)
-summary metrics for the parallel path.
+Tracing is process-local and deliberately does NOT propagate to worker
+processes; the golden harness therefore captures full event logs serially
+and checks the (equally deterministic) summary metrics for the parallel
+path.  This is one of three observation channels with distinct
+propagation rules — the in-sim probes ride the cell spec as plain names
+and are rebuilt inside whichever worker runs the cell, and the telemetry
+spans propagate via an inherited environment variable and carry a
+``worker`` field attributing each span to its emitting process.  The full
+contract is documented in ``docs/observability.md``.
 
 Usage::
 

@@ -25,7 +25,7 @@ level, into thrashing.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
 
 from repro.cc.base import AbortReason, ConcurrencyControl, TransactionAborted
 from repro.cc.timestamp_cert import TimestampCertification
@@ -42,6 +42,9 @@ from repro.tp.metrics import RunMetrics
 from repro.tp.params import SystemParams
 from repro.tp.transaction import Transaction
 from repro.tp.workload import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.obs.probes import ProbeSet
 
 
 #: outcome values returned by a transaction lifecycle process
@@ -60,7 +63,8 @@ class TransactionSystem:
                  cc: Optional[ConcurrencyControl] = None,
                  gate: Optional[AdmissionGate] = None,
                  displacement: Optional[DisplacementPolicy] = None,
-                 resubmit_displaced: bool = True):
+                 resubmit_displaced: bool = True,
+                 probes: Optional["ProbeSet"] = None):
         self.params = params
         self.sim = sim or Simulator()
         self.streams = streams or RandomStreams(params.seed)
@@ -79,6 +83,11 @@ class TransactionSystem:
         #: trajectory tracer in effect when the system was built (usually None;
         #: the golden harness installs one via repro.sim.trace.tracing)
         self._tracer = sim_trace.active_tracer()
+        #: in-sim probe set (usually None; the runner builds one from
+        #: RunSpec.probes) — same zero-cost slot pattern as the tracer
+        self._probes = probes
+        if probes is not None:
+            probes.bind(self)
         # lazily bound per-name RNG generators: the think/cpu/restart draws
         # are per-phase hot-path calls, so the stream-registry lookup is paid
         # once per run instead of once per draw (draw order is unchanged)
@@ -123,6 +132,10 @@ class TransactionSystem:
         self._started = True
         if self.measurement is not None:
             self.measurement.start()
+        if self._probes is not None and self._probes.wants_sampling:
+            # the sampler draws no RNG and mutates no model state, so its
+            # extra heap events leave the model trajectory untouched
+            self.sim.process(self._probes.sampler(), name="probe-sampler")
         for terminal_id in range(self.params.n_terminals):
             process = self.sim.process(
                 self._terminal(terminal_id), name=f"terminal-{terminal_id}"
@@ -216,6 +229,7 @@ class TransactionSystem:
         cc_access = self.cc.access
         cpu_access = params.cpu_per_access
         disk_access = params.disk_per_access
+        probes = self._probes
         while True:
             txn.start_execution(sim.now)
             self.cc.begin(txn)
@@ -228,7 +242,12 @@ class TransactionSystem:
                 for item, is_write in zip(txn.items, txn.write_flags):
                     grant = cc_access(txn, item, is_write)
                     if grant is not None:
-                        yield grant
+                        if probes is None:
+                            yield grant
+                        else:
+                            waited_from = sim.now
+                            yield grant
+                            probes.observe_lock_wait(sim.now - waited_from)
                     if cpu_access > 0:
                         request = cpus.request()
                         try:
@@ -249,6 +268,9 @@ class TransactionSystem:
                     self.metrics.record_commit(
                         txn.committed_at - txn.submitted_at, txn.last_conflicts
                     )
+                    if probes is not None:
+                        probes.observe_commit_residence(
+                            txn.committed_at - txn.execution_started_at)
                     if self._tracer is not None:
                         self._tracer.record(self.sim.now, sim_trace.COMMIT, txn.txn_id)
                     return COMMITTED

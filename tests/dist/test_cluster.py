@@ -293,7 +293,10 @@ class TestConsoleEntryPoints:
             "--archive", str(tmp_path),
         ])
         assert exit_code == 0
-        output = capsys.readouterr().out
+        captured = capsys.readouterr()
+        # diagnostics are logged to stderr; the result table stays on stdout
+        assert "T [txn/s]" in captured.out
+        output = captured.out + captured.err
         assert "coordinator listening on" in output
         assert "2 worker(s) connected" in output
         assert "cells/s" in output
@@ -321,7 +324,8 @@ class TestConsoleEntryPoints:
             thread.join(timeout=30)
             assert not thread.is_alive()
         assert outcome["exit"] == 0
-        assert "executed 2 cell(s)" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "executed 2 cell(s)" in captured.out + captured.err
 
 
 class TestMakeExecutorSeam:

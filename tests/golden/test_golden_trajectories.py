@@ -8,7 +8,8 @@ The original five were generated with ``tools/regen_goldens.py`` *before*
 the hot-path rewrite of the engine and act as the bit-for-bit contract the
 optimised engine must honour; later scenarios (``mixed_classes``,
 ``cc_compare``, ``displacement_policies``, ``deadlock_resolution``,
-``isolation_tradeoff``) were pinned the moment they were introduced.
+``isolation_tradeoff``, ``probe_calibration``) were pinned the moment they
+were introduced.
 
 Two assertions per scenario:
 
@@ -94,7 +95,8 @@ def test_workers2_metrics_bitwise_identical(name):
 #: must round-trip the wire protocol, so they are asserted over a real
 #: localhost cluster too
 DIST_PINNED_SCENARIOS = ("cc_compare", "displacement_policies",
-                         "deadlock_resolution", "isolation_tradeoff")
+                         "deadlock_resolution", "isolation_tradeoff",
+                         "probe_calibration")
 
 
 @pytest.mark.parametrize("name", DIST_PINNED_SCENARIOS)

@@ -1,0 +1,91 @@
+"""Probes on RunSpec: validation, pickling, and byte-stable JSON encoding."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.config import ExperimentScale, default_system_params
+from repro.experiments.dynamic import jump_scenario
+from repro.experiments.stationary import stationary_sweep_spec
+from repro.obs.probes import PROBE_NAMES
+from repro.runner.specs import (
+    ControllerSpec,
+    RunSpec,
+    run_spec_from_jsonable,
+    run_spec_to_jsonable,
+)
+
+
+def stationary_spec(**overrides) -> RunSpec:
+    settings = dict(
+        kind="stationary",
+        cell_id="probe-spec/N=25",
+        params=default_system_params(seed=47),
+        scale=ExperimentScale.smoke(),
+        probes=PROBE_NAMES,
+    )
+    settings.update(overrides)
+    return RunSpec(**settings)
+
+
+class TestSpecValidation:
+    def test_probe_names_are_validated_at_construction(self):
+        with pytest.raises(ValueError, match="unknown probe"):
+            stationary_spec(probes=("no_such_probe",))
+
+    def test_probes_are_normalised_to_a_tuple(self):
+        spec = stationary_spec(probes=["mpl", "lock_wait"])
+        assert spec.probes == ("mpl", "lock_wait")
+
+    def test_tracking_runs_reject_probes(self):
+        with pytest.raises(ValueError, match="stationary runs only"):
+            stationary_spec(
+                kind="tracking",
+                controller=ControllerSpec.make("incremental_steps"),
+                scenario=jump_scenario("accesses", 4, 16, jump_time=5.0),
+            )
+
+    def test_specs_without_probes_stay_valid(self):
+        assert stationary_spec(probes=None).probes is None
+
+
+class TestPickleRoundTrip:
+    def test_probed_spec_survives_pickling(self):
+        spec = stationary_spec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestJsonRoundTrip:
+    def test_probed_spec_round_trips_bit_identically(self):
+        spec = stationary_spec()
+        assert run_spec_from_jsonable(run_spec_to_jsonable(spec)) == spec
+
+    def test_encoder_omits_the_key_when_probes_are_off(self):
+        """Pre-probes archives (and the committed fuzz corpus) must stay
+        byte-identical, so the field only appears when set."""
+        data = run_spec_to_jsonable(stationary_spec(probes=None))
+        assert "probes" not in data
+
+    def test_encoder_emits_plain_names_when_probes_are_on(self):
+        data = run_spec_to_jsonable(stationary_spec())
+        assert data["probes"] == list(PROBE_NAMES)
+
+    def test_decoder_tolerates_archives_predating_probes(self):
+        data = run_spec_to_jsonable(stationary_spec(probes=None))
+        assert run_spec_from_jsonable(data).probes is None
+
+
+class TestSweepBuilder:
+    def test_stationary_sweep_spec_threads_probes_to_every_cell(self):
+        sweep = stationary_sweep_spec(
+            default_system_params(seed=47), None, ExperimentScale.smoke(),
+            "probed", name="probe-sweep", probes=("lock_wait", "mpl"),
+        )
+        assert all(cell.probes == ("lock_wait", "mpl") for cell in sweep.cells)
+
+    def test_probe_calibration_scenario_opts_into_every_builtin_probe(self):
+        from repro.runner.registry import build_sweep
+
+        sweep = build_sweep("probe_calibration", scale=ExperimentScale.smoke())
+        assert all(cell.probes == PROBE_NAMES for cell in sweep.cells)
+        assert all(cell.scheme_diagnostics for cell in sweep.cells)

@@ -3,8 +3,8 @@
 
 One JSON file per registry scenario (thrashing, fig12_stationary,
 fig13_is_jump, fig14_pa_jump, sinusoid, mixed_classes, cc_compare,
-displacement_policies, deadlock_resolution, isolation_tradeoff), each
-produced by running every
+displacement_policies, deadlock_resolution, isolation_tradeoff,
+probe_calibration), each produced by running every
 cell of the scenario's smoke-scale sweep serially with the trajectory
 tracer installed.  A golden file pins, per cell:
 
@@ -70,7 +70,8 @@ from repro.sim.trace import TrajectoryTracer, tracing  # noqa: E402
 GOLDEN_SCENARIOS = ("thrashing", "fig12_stationary", "fig13_is_jump",
                     "fig14_pa_jump", "sinusoid", "mixed_classes",
                     "cc_compare", "displacement_policies",
-                    "deadlock_resolution", "isolation_tradeoff")
+                    "deadlock_resolution", "isolation_tradeoff",
+                    "probe_calibration")
 
 #: bump when the golden file structure (not the trajectories) changes
 GOLDEN_FORMAT = 1

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Deque, Optional, Tuple
 
 from repro.sim.engine import Event, SimulationError, Simulator
 from repro.sim.stats import TimeWeightedStats
@@ -27,11 +27,32 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.tp.transaction import Transaction
 
 
+class AdmissionShed(SimulationError):
+    """An arrival was rejected outright instead of queued.
+
+    Raised *through* the submit event (the gate fails the event with this
+    exception), so the submitting process sees it at its ``yield`` — the
+    open-system analogue of a busy signal.  Only tenants with a
+    ``queue_quota`` can be shed; the classic closed model never sees this.
+    """
+
+
 class AdmissionGate:
-    """FCFS admission queue in front of the transaction processing system."""
+    """FCFS admission queue in front of the transaction processing system.
+
+    With ``tenant_quotas``/``tenant_queue_quotas`` the gate additionally
+    enforces per-tenant caps: a tenant at its admission quota keeps its
+    waiters queued even while the global threshold has room (admission
+    stays FCFS *among eligible tenants*), and a tenant at its queue quota
+    has further arrivals shed via :class:`AdmissionShed`.  Without quotas
+    (the default) the per-tenant bookkeeping is skipped entirely, so the
+    closed model pays nothing for the feature.
+    """
 
     def __init__(self, sim: Simulator, initial_limit: float = math.inf,
-                 name: str = "admission-gate"):
+                 name: str = "admission-gate",
+                 tenant_quotas: Optional[Dict[str, int]] = None,
+                 tenant_queue_quotas: Optional[Dict[str, int]] = None):
         if initial_limit < 1:
             raise ValueError(f"initial_limit must be >= 1, got {initial_limit}")
         self.sim = sim
@@ -44,6 +65,16 @@ class AdmissionGate:
         self.queue_stats = TimeWeightedStats(sim.now, 0.0)
         self.total_admitted = 0
         self.total_departed = 0
+        self.total_shed = 0
+        self._quotas = dict(tenant_quotas) if tenant_quotas else None
+        self._queue_quotas = dict(tenant_queue_quotas) if tenant_queue_quotas else None
+        self._tenant_tracking = self._quotas is not None or self._queue_quotas is not None
+        # per-tenant occupancy, maintained only when quotas are configured
+        self._admitted_by_tenant: Dict[str, int] = {}
+        self._waiting_by_tenant: Dict[str, int] = {}
+        self.shed_by_tenant: Dict[str, int] = {}
+        # tenant of each admitted transaction, so depart() can decrement
+        self._tenant_of: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -76,13 +107,41 @@ class AdmissionGate:
         self._admit_waiters()
 
     def submit(self, txn: "Transaction") -> Event:
-        """Ask for admission; the returned event succeeds when admitted."""
+        """Ask for admission; the returned event succeeds when admitted.
+
+        When the transaction's tenant has a configured queue quota and its
+        waiting count is already at that cap, the event is *failed* with
+        :class:`AdmissionShed` instead — the submitter sees the exception
+        at its ``yield``.
+        """
         event = Event(self.sim)
-        if self.current_load < self._limit and not self._waiting:
+        if not self._tenant_tracking:
+            if self.current_load < self._limit and not self._waiting:
+                self._admit(txn, event)
+            else:
+                self._waiting.append((txn, event))
+                self.queue_stats.update(self.sim.now, len(self._waiting))
+            return event
+        tenant = txn.tenant
+        if (self.current_load < self._limit and not self._waiting
+                and self._below_admission_quota(tenant)):
             self._admit(txn, event)
-        else:
-            self._waiting.append((txn, event))
-            self.queue_stats.update(self.sim.now, len(self._waiting))
+            return event
+        cap = self._queue_quotas.get(tenant) if self._queue_quotas is not None else None
+        if cap is not None and self._waiting_by_tenant.get(tenant, 0) >= cap:
+            self.total_shed += 1
+            self.shed_by_tenant[tenant] = self.shed_by_tenant.get(tenant, 0) + 1
+            event.fail(AdmissionShed(
+                f"tenant {tenant!r} queue quota {cap} exhausted"
+            ))
+            return event
+        self._waiting.append((txn, event))
+        self._waiting_by_tenant[tenant] = self._waiting_by_tenant.get(tenant, 0) + 1
+        self.queue_stats.update(self.sim.now, len(self._waiting))
+        # the queue head may belong to an over-quota tenant while this
+        # arrival's tenant has room: give eligible waiters a chance now
+        # instead of stalling them until the next departure
+        self._admit_waiters()
         return event
 
     def depart(self, txn: "Transaction") -> None:
@@ -93,6 +152,9 @@ class AdmissionGate:
             )
         self._admitted.discard(txn.txn_id)
         self.total_departed += 1
+        if self._tenant_tracking:
+            tenant = self._tenant_of.pop(txn.txn_id, "")
+            self._admitted_by_tenant[tenant] = self._admitted_by_tenant.get(tenant, 1) - 1
         self.load_stats.update(self.sim.now, len(self._admitted))
         self._admit_waiters()
 
@@ -104,6 +166,8 @@ class AdmissionGate:
         for index, (waiting_txn, event) in enumerate(self._waiting):
             if waiting_txn.txn_id == txn.txn_id:
                 del self._waiting[index]
+                if self._tenant_tracking:
+                    self._waiting_by_tenant[waiting_txn.tenant] -= 1
                 self.queue_stats.update(self.sim.now, len(self._waiting))
                 if not event.triggered:
                     event.fail(SimulationError("admission request cancelled"))
@@ -111,18 +175,51 @@ class AdmissionGate:
         return False
 
     # ------------------------------------------------------------------
+    def admitted_of_tenant(self, tenant: str) -> int:
+        """Currently admitted transactions of ``tenant`` (quota runs only)."""
+        return self._admitted_by_tenant.get(tenant, 0)
+
+    def waiting_of_tenant(self, tenant: str) -> int:
+        """Currently waiting transactions of ``tenant`` (quota runs only)."""
+        return self._waiting_by_tenant.get(tenant, 0)
+
+    def _below_admission_quota(self, tenant: str) -> bool:
+        if self._quotas is None:
+            return True
+        quota = self._quotas.get(tenant)
+        return quota is None or self._admitted_by_tenant.get(tenant, 0) < quota
+
     def _admit(self, txn: "Transaction", event: Event) -> None:
         self._admitted.add(txn.txn_id)
         self.total_admitted += 1
+        if self._tenant_tracking:
+            tenant = txn.tenant
+            self._admitted_by_tenant[tenant] = self._admitted_by_tenant.get(tenant, 0) + 1
+            self._tenant_of[txn.txn_id] = tenant
         txn.admitted_at = self.sim.now
         self.load_stats.update(self.sim.now, len(self._admitted))
         event.succeed(txn)
 
     def _admit_waiters(self) -> None:
-        while self._waiting and self.current_load < self._limit:
-            txn, event = self._waiting.popleft()
-            self.queue_stats.update(self.sim.now, len(self._waiting))
-            self._admit(txn, event)
+        if not self._tenant_tracking:
+            while self._waiting and self.current_load < self._limit:
+                txn, event = self._waiting.popleft()
+                self.queue_stats.update(self.sim.now, len(self._waiting))
+                self._admit(txn, event)
+            return
+        # FCFS among eligible tenants: scan the queue in order, admitting
+        # each waiter whose tenant is below its admission quota while the
+        # global threshold has room; over-quota waiters keep their place
+        index = 0
+        while index < len(self._waiting) and self.current_load < self._limit:
+            txn, event = self._waiting[index]
+            if self._below_admission_quota(txn.tenant):
+                del self._waiting[index]
+                self._waiting_by_tenant[txn.tenant] -= 1
+                self.queue_stats.update(self.sim.now, len(self._waiting))
+                self._admit(txn, event)
+            else:
+                index += 1
 
     # ------------------------------------------------------------------
     def mean_load(self, until: Optional[float] = None) -> float:

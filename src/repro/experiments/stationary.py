@@ -21,7 +21,7 @@ confidence interval — without changing the single-replicate results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cc.registry import resolve_cc
 from repro.core.controller import LoadController
@@ -32,6 +32,9 @@ from repro.sim.random_streams import RandomStreams
 from repro.tp.params import SystemParams
 from repro.tp.system import TransactionSystem
 from repro.tp.workload import MixedClassWorkload, TransactionClassSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tp.arrivals import ArrivalProcess
 
 #: a factory producing a fresh controller for each run (controllers keep state)
 ControllerFactory = Callable[[SystemParams], LoadController]
@@ -69,6 +72,17 @@ class StationaryPoint:
     #: populated only when the run opted into probes, empty otherwise —
     #: see :mod:`repro.obs.probes`
     probe_metrics: Dict[str, float] = field(default_factory=dict)
+    #: streaming 95th/99th-percentile submission-to-commit latency over the
+    #: measured window (P-squared estimates; 0 when nothing committed)
+    p95_response_time: float = 0.0
+    p99_response_time: float = 0.0
+    #: arrivals rejected outright by tenant queue quotas (open runs only)
+    shed: int = 0
+    #: per-tenant SLO metrics, keyed ``tenant_<metric>_<class name>``;
+    #: populated only for open/partly-open runs on a mixed-class workload
+    #: (the tenant key set is enumerated from the *spec*, so the schema is
+    #: a pure function of the cell spec, never of the trajectory)
+    tenant_metrics: Dict[str, float] = field(default_factory=dict)
 
     def as_tuple(self) -> Tuple[float, float]:
         """The (load, throughput) pair used by the curve helpers."""
@@ -118,7 +132,8 @@ def run_stationary_point(params: SystemParams,
                          workload_classes: Optional[Sequence[TransactionClassSpec]] = None,
                          cc: Optional[object] = None,
                          isolation_diagnostics: bool = False,
-                         probes: Optional[Sequence[str]] = None
+                         probes: Optional[Sequence[str]] = None,
+                         arrivals: Optional["ArrivalProcess"] = None
                          ) -> StationaryPoint:
     """Run one stationary simulation and summarise it.
 
@@ -144,6 +159,13 @@ def run_stationary_point(params: SystemParams,
     :attr:`StationaryPoint.probe_metrics` as ``probe_<name>`` keys.  The
     probe set is trajectory-preserving: all other fields of the returned
     point are unchanged by probing.
+    ``arrivals`` selects the arrival model (see :mod:`repro.tp.arrivals`):
+    ``None``/closed keeps the paper's terminal processes; an open or
+    partly-open process replaces them with an arrival source.  When the
+    ``workload_classes`` carry tenant quotas and the run is open, the gate
+    enforces them and the returned point's SLO fields
+    (:attr:`StationaryPoint.p95_response_time`, ``p99_…``, ``shed`` and the
+    per-tenant :attr:`StationaryPoint.tenant_metrics`) describe the outcome.
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be positive, got {horizon}")
@@ -154,6 +176,17 @@ def run_stationary_point(params: SystemParams,
     if workload_classes is not None:
         workload = MixedClassWorkload(params.workload, streams, workload_classes)
     sim = Simulator()
+    gate = None
+    if arrivals is not None and workload_classes is not None:
+        from repro.core.admission import AdmissionGate
+
+        quotas = {cls.name: cls.admission_quota for cls in workload_classes
+                  if cls.admission_quota is not None}
+        queue_quotas = {cls.name: cls.queue_quota for cls in workload_classes
+                        if cls.queue_quota is not None}
+        if quotas or queue_quotas:
+            gate = AdmissionGate(sim, tenant_quotas=quotas or None,
+                                 tenant_queue_quotas=queue_quotas or None)
     scheme = resolve_cc(cc, sim)
     recorder = None
     if isolation_diagnostics:
@@ -170,7 +203,8 @@ def run_stationary_point(params: SystemParams,
 
         probe_set = ProbeSet(probes, interval=measurement_interval)
     system = TransactionSystem(params, sim=sim, streams=streams, workload=workload,
-                               cc=scheme, probes=probe_set)
+                               cc=scheme, gate=gate, probes=probe_set,
+                               arrivals=arrivals)
     measurement: Optional[MeasurementProcess] = None
     if controller_factory is not None:
         controller = controller_factory(params)
@@ -179,13 +213,13 @@ def run_stationary_point(params: SystemParams,
         )
     system.start()
     system.run(until=warmup)
-    # discard the warm-up transient
+    # discard the warm-up transient; the resets bind the measured windows of
+    # the rate metrics (metrics.measured_from, the resource integrals) to now
     system.metrics.reset()
     system.cpus.reset_statistics()
     system.gate.reset_statistics()
-    measured_from = system.sim.now
     if probe_set is not None:
-        probe_set.reset(measured_from)
+        probe_set.reset(system.sim.now)
     system.run(until=warmup + horizon)
 
     anomalies: Dict[str, int] = {}
@@ -195,13 +229,33 @@ def run_stationary_point(params: SystemParams,
         anomalies = anomaly_counts(recorder.committed)
 
     metrics = system.metrics
+    tenant_metrics: Dict[str, float] = {}
+    if arrivals is not None and workload_classes is not None:
+        # the key set is enumerated from the spec's class names (never from
+        # the tenants that happened to commit), so the metric schema is a
+        # pure function of the cell spec
+        for cls in workload_classes:
+            name = cls.name
+            tenant_metrics[f"tenant_commits_{name}"] = float(
+                metrics.commits_by_tenant.get(name, 0))
+            tenant_metrics[f"tenant_shed_{name}"] = float(
+                metrics.shed_by_tenant.get(name, 0))
+            p95 = metrics.tenant_response_p95.get(name)
+            p99 = metrics.tenant_response_p99.get(name)
+            p95_value = p95.value if p95 is not None else 0.0
+            p99_value = p99.value if p99 is not None else 0.0
+            tenant_metrics[f"tenant_p95_response_time_{name}"] = p95_value
+            # independent P² estimates can cross slightly under heavy
+            # tails; report a monotone pair (same clamp as RunMetrics)
+            tenant_metrics[f"tenant_p99_response_time_{name}"] = max(
+                p99_value, p95_value)
     return StationaryPoint(
         offered_load=params.n_terminals,
-        throughput=metrics.throughput(since=measured_from),
+        throughput=metrics.throughput(),
         mean_response_time=metrics.mean_response_time(),
         mean_concurrency=system.gate.mean_load(),
         restart_ratio=metrics.restart_ratio,
-        cpu_utilisation=system.cpus.utilisation(since=measured_from),
+        cpu_utilisation=system.cpus.utilisation(),
         final_limit=system.gate.limit,
         commits=metrics.commits,
         aborts_by_reason={reason.value: count for reason, count
@@ -209,6 +263,10 @@ def run_stationary_point(params: SystemParams,
         anomalies=anomalies,
         probe_metrics=(probe_set.metrics(system.sim.now)
                        if probe_set is not None else {}),
+        p95_response_time=metrics.p95_response_time,
+        p99_response_time=metrics.p99_response_time,
+        shed=metrics.shed,
+        tenant_metrics=tenant_metrics,
     )
 
 
@@ -221,7 +279,8 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
                           cc: Optional[object] = None,
                           scheme_diagnostics: bool = False,
                           isolation_diagnostics: bool = False,
-                          probes: Optional[Sequence[str]] = None):
+                          probes: Optional[Sequence[str]] = None,
+                          arrivals: Optional[object] = None):
     """Build the runner :class:`~repro.runner.specs.SweepSpec` of one curve.
 
     ``controller`` may be ``None`` (uncontrolled), a
@@ -242,8 +301,19 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
     ``probes`` attaches the named in-sim probes to every cell
     (``probe_<name>`` metrics) — see
     :attr:`~repro.runner.specs.RunSpec.probes`.
+    ``arrivals`` selects the arrival model — an
+    :class:`~repro.tp.arrivals.ArrivalProcess` shared by every cell, or a
+    callable ``offered_load -> ArrivalProcess`` so open sweeps can scale
+    the arrival rate along the offered-load axis the way closed sweeps
+    scale the terminal count.
     """
     from repro.runner.specs import KIND_STATIONARY, RunSpec, SweepSpec
+    from repro.tp.arrivals import ArrivalProcess
+
+    def arrivals_for(offered_load: int):
+        if arrivals is None or isinstance(arrivals, ArrivalProcess):
+            return arrivals
+        return arrivals(offered_load)
 
     scale = scale or ExperimentScale.benchmark()
     base_params = base_params or default_system_params()
@@ -263,6 +333,7 @@ def stationary_sweep_spec(base_params: Optional[SystemParams] = None,
             scheme_diagnostics=scheme_diagnostics,
             isolation_diagnostics=isolation_diagnostics,
             probes=tuple(probes) if probes is not None else None,
+            arrivals=arrivals_for(int(offered_load)),
         )
         for offered_load in scale.offered_loads
     )

@@ -41,6 +41,11 @@ Built-in probes (:data:`PROBE_NAMES`):
 ``displacement``
     Displacement activity: how many executions the load controller
     displaced, as a count and a rate over the measured window.
+``arrival_backlog``
+    Open-system backlog: submissions inside the system or waiting at the
+    gate (admitted load plus queue length), sampled each interval.  In a
+    closed run this is bounded by the terminal count; in an open run its
+    growth is the signature of sustained overload.
 """
 
 from __future__ import annotations
@@ -60,14 +65,16 @@ ADMISSION_QUEUE = "admission_queue"
 MPL = "mpl"
 ABORT_RATES = "abort_rates"
 DISPLACEMENT = "displacement"
+ARRIVAL_BACKLOG = "arrival_backlog"
 
 #: every built-in probe, in canonical order
 PROBE_NAMES: Tuple[str, ...] = (
     LOCK_WAIT, LOCK_QUEUE, ADMISSION_QUEUE, MPL, ABORT_RATES, DISPLACEMENT,
+    ARRIVAL_BACKLOG,
 )
 
 #: the probes whose gauges are sampled by the simulation-time sampler
-_GAUGE_PROBES = (LOCK_QUEUE, ADMISSION_QUEUE, MPL)
+_GAUGE_PROBES = (LOCK_QUEUE, ADMISSION_QUEUE, MPL, ARRIVAL_BACKLOG)
 
 
 def validate_probes(names: Iterable[str]) -> Tuple[str, ...]:
@@ -109,7 +116,7 @@ class ProbeSet:
     __slots__ = ("names", "interval", "_system", "_window_start",
                  "_lock_wait_on", "_abort_rates_on", "_displacement_on",
                  "_wait_stats", "_residence_stats",
-                 "_lock_queue", "_admission_queue", "_mpl")
+                 "_lock_queue", "_admission_queue", "_mpl", "_arrival_backlog")
 
     def __init__(self, names: Iterable[str], interval: float = 2.0):
         self.names = validate_probes(names)
@@ -126,6 +133,7 @@ class ProbeSet:
         self._lock_queue: Optional[TimeWeightedStats] = None
         self._admission_queue: Optional[TimeWeightedStats] = None
         self._mpl: Optional[TimeWeightedStats] = None
+        self._arrival_backlog: Optional[TimeWeightedStats] = None
 
     # ------------------------------------------------------------------
     # wiring (called by TransactionSystem)
@@ -143,6 +151,8 @@ class ProbeSet:
             self._admission_queue = TimeWeightedStats(now, 0.0)
         if MPL in self.names:
             self._mpl = TimeWeightedStats(now, 0.0)
+        if ARRIVAL_BACKLOG in self.names:
+            self._arrival_backlog = TimeWeightedStats(now, 0.0)
 
     @property
     def wants_sampling(self) -> bool:
@@ -171,6 +181,9 @@ class ProbeSet:
             self._admission_queue.update(now, system.gate.queue_length)
         if self._mpl is not None:
             self._mpl.update(now, system.gate.current_load)
+        if self._arrival_backlog is not None:
+            gate = system.gate
+            self._arrival_backlog.update(now, gate.current_load + gate.queue_length)
 
     # ------------------------------------------------------------------
     # hot-path observations (called by the transaction lifecycle)
@@ -197,7 +210,8 @@ class ProbeSet:
             self._residence_stats.reset()
         # gauges keep their current value; re-sample so the window opens on
         # the true instantaneous state rather than the pre-reset one
-        for gauge in (self._lock_queue, self._admission_queue, self._mpl):
+        for gauge in (self._lock_queue, self._admission_queue, self._mpl,
+                      self._arrival_backlog):
             if gauge is not None:
                 gauge.reset(now)
         if self.wants_sampling:
@@ -237,6 +251,9 @@ class ProbeSet:
         if self._mpl is not None:
             out["probe_mpl_mean"] = self._mpl.mean(now)
             out["probe_mpl_max"] = self._mpl.maximum
+        if self._arrival_backlog is not None:
+            out["probe_arrival_backlog_mean"] = self._arrival_backlog.mean(now)
+            out["probe_arrival_backlog_max"] = self._arrival_backlog.maximum
         if self._abort_rates_on:
             counts = system.metrics.aborts_by_reason
             for reason in AbortReason:

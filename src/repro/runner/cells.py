@@ -112,6 +112,7 @@ def _execute_stationary(spec: RunSpec) -> CellResult:
         cc=spec.cc,
         isolation_diagnostics=spec.isolation_diagnostics,
         probes=spec.probes,
+        arrivals=spec.arrivals,
     )
     metrics = {
         "throughput": point.throughput,
@@ -139,6 +140,15 @@ def _execute_stationary(spec: RunSpec) -> CellResult:
         for anomaly_kind in ANOMALY_KINDS:
             metrics[f"anomalies_{anomaly_kind}"] = float(
                 point.anomalies.get(anomaly_kind, 0))
+    if spec.arrivals is not None:
+        # SLO metrics only for cells that opted into an arrival model, so
+        # the metric schema (and every pre-existing golden) of closed cells
+        # is untouched; the per-tenant keys are enumerated from the spec's
+        # class names inside run_stationary_point
+        metrics["p95_response_time"] = point.p95_response_time
+        metrics["p99_response_time"] = point.p99_response_time
+        metrics["shed"] = float(point.shed)
+        metrics.update(point.tenant_metrics)
     # probe readouts arrive already probe_-prefixed with a schema that is a
     # pure function of the enabled probes, so they fold through the
     # replicate aggregation like any other metric

@@ -2,8 +2,9 @@
 
 Each scenario maps a name (``cc_compare``, ``deadlock_resolution``,
 ``displacement_policies``, ``fig12_stationary``, ``fig13_is_jump``,
-``fig14_pa_jump``, ``isolation_tradeoff``, ``mixed_classes``,
-``probe_calibration``, ``sinusoid``, ``thrashing``) to a builder that produces
+``fig14_pa_jump``, ``flash_crowd``, ``isolation_tradeoff``,
+``mixed_classes``, ``open_diurnal``, ``probe_calibration``, ``sinusoid``,
+``thrashing``) to a builder that produces
 the corresponding :class:`~repro.runner.specs.SweepSpec` for a given
 :class:`~repro.experiments.config.ExperimentScale`.  Benchmarks, examples
 and ad-hoc scripts all obtain their cells here, so "run Figure 12 at smoke
@@ -32,8 +33,9 @@ from repro.experiments.dynamic import (
 )
 from repro.experiments.stationary import stationary_sweep_spec
 from repro.runner.specs import ControllerSpec, SweepSpec
+from repro.tp.arrivals import OpenArrivals, PartlyOpenArrivals
 from repro.tp.params import SystemParams
-from repro.tp.workload import TransactionClassSpec
+from repro.tp.workload import JumpSchedule, SinusoidSchedule, TransactionClassSpec
 
 #: a scenario builder produces the sweep for one named experiment
 ScenarioBuilder = Callable[..., SweepSpec]
@@ -110,7 +112,7 @@ def _stationary_cells(name: str, scale: ExperimentScale, base_params: SystemPara
                       variants, workload_classes=None, cc=None,
                       scheme_diagnostics: bool = False,
                       isolation_diagnostics: bool = False,
-                      probes=None) -> SweepSpec:
+                      probes=None, arrivals=None) -> SweepSpec:
     """One stationary cell per (controller variant, offered load)."""
     cells = []
     for label, controller in variants:
@@ -119,7 +121,7 @@ def _stationary_cells(name: str, scale: ExperimentScale, base_params: SystemPara
                                   workload_classes=workload_classes, cc=cc,
                                   scheme_diagnostics=scheme_diagnostics,
                                   isolation_diagnostics=isolation_diagnostics,
-                                  probes=probes).cells
+                                  probes=probes, arrivals=arrivals).cells
         )
     return SweepSpec(name=name, cells=tuple(cells))
 
@@ -362,25 +364,28 @@ def _probe_calibration(scale: ExperimentScale, base_params: Optional[SystemParam
     The ``cc_compare`` workload tightening (1500 granules, write fraction
     0.6) is reused so two-phase locking actually blocks — and therefore
     has a measurable waiting share — at the standard offered-load grid.
-    Every cell opts into all built-in probes
-    (:data:`repro.obs.probes.PROBE_NAMES`), so the golden fixture pins the
-    complete ``probe_<name>`` metric surface: lock-wait statistics, the
-    measured waiting share that :func:`repro.obs.calibration.measured_wait_share`
+    Every cell opts into the six probes this scenario has always carried
+    (the explicit tuple below, frozen rather than ``PROBE_NAMES`` so later
+    probe additions — like the open-system ``arrival_backlog`` gauge —
+    cannot silently widen this scenario's pinned metric schema), so the
+    golden fixture pins the complete ``probe_<name>`` metric surface:
+    lock-wait statistics, the measured waiting share that
+    :func:`repro.obs.calibration.measured_wait_share`
     feeds into the Tay reference, queue-depth and MPL trajectories, and the
     per-reason abort rates.  Probes observe without perturbing, so the
     throughput columns of this scenario are exactly what an unprobed run
     of the same cells produces — a property the probe test suite asserts.
     """
-    from repro.obs.probes import PROBE_NAMES
-
     base = base_params or default_system_params(seed=47)
     base = base.with_changes(workload=base.workload.with_changes(
         db_size=db_size, write_fraction=write_fraction))
     cc = CCSpec.make("two_phase_locking", victim_policy=victim_policy)
+    probes = ("lock_wait", "lock_queue", "admission_queue", "mpl",
+              "abort_rates", "displacement")
     return _stationary_cells("probe_calibration", scale, base, [
         ("without control", None),
         ("IS control", ControllerSpec.make("incremental_steps")),
-    ], cc=cc, scheme_diagnostics=True, probes=PROBE_NAMES)
+    ], cc=cc, scheme_diagnostics=True, probes=probes)
 
 
 @register_scenario(
@@ -451,3 +456,99 @@ def _sinusoid(scale: ExperimentScale, base_params: Optional[SystemParams],
     }
     return tracking_sweep_spec(variants, scenario, base_params=base,
                                scale=scale, name="sinusoid")
+
+
+@register_scenario(
+    "open_diurnal",
+    "Open-system arrivals: a diurnal (sinusoid) Poisson arrival rate over the "
+    "IS-controlled 2PL system, with response-time tail percentiles per cell",
+)
+def _open_diurnal(scale: ExperimentScale, base_params: Optional[SystemParams],
+                  rate_per_load: float = 0.25,
+                  relative_amplitude: float = 0.6,
+                  victim_policy: str = "youngest") -> SweepSpec:
+    """The diurnal open-system sweep: arrival rate replaces the terminal count.
+
+    Every cell runs the :class:`~repro.tp.arrivals.OpenArrivals` source —
+    transactions arrive in a nonhomogeneous Poisson stream whose rate
+    follows a sinusoid ("daily" load swings compressed into the simulated
+    horizon) — instead of the closed terminal loop.  The offered-load axis
+    scales the *mean arrival rate* (``rate_per_load`` transactions per
+    simulated second per offered-load unit) the way the closed sweeps
+    scale the terminal count, so the familiar grid now spans under-load
+    through sustained overload: past the saturation point the backlog
+    grows through each diurnal peak and the tail percentiles — pinned per
+    cell as ``p95_response_time``/``p99_response_time`` — separate sharply
+    from the mean.  The concurrency-control scheme is blocking 2PL under
+    IS control (with the uncontrolled series as the reference), and every
+    cell carries the ``arrival_backlog`` probe, whose growth-vs-bounded
+    trajectory is exactly the open-system thrashing signature.
+    """
+    base = base_params or default_system_params(seed=67)
+    cc = CCSpec.make("two_phase_locking", victim_policy=victim_policy)
+    period = scale.stationary_horizon / 2.0
+
+    def diurnal(offered_load: int) -> OpenArrivals:
+        mean = rate_per_load * offered_load
+        return OpenArrivals(SinusoidSchedule(
+            mean=mean, amplitude=relative_amplitude * mean, period=period))
+
+    return _stationary_cells("open_diurnal", scale, base, [
+        ("without control", None),
+        ("IS control", ControllerSpec.make("incremental_steps")),
+    ], cc=cc, probes=("arrival_backlog",), arrivals=diurnal)
+
+
+@register_scenario(
+    "flash_crowd",
+    "Partly-open flash crowd: a session arrival-rate jump against two tenants "
+    "with admission/queue quotas — load control must shed the bursting tenant "
+    "while the steady tenant keeps its SLO",
+)
+def _flash_crowd(scale: ExperimentScale, base_params: Optional[SystemParams],
+                 rate_per_load: float = 0.10,
+                 surge_factor: float = 3.5,
+                 burst_admission_quota: int = 6,
+                 burst_queue_quota: int = 6) -> SweepSpec:
+    """Two tenants, one flash crowd, and the quota machinery between them.
+
+    The arrival source is :class:`~repro.tp.arrivals.PartlyOpenArrivals`:
+    *sessions* arrive in a Poisson stream and each issues a bounded-Pareto
+    number of transactions with a short think time in between — the
+    partly-open middle ground that models real front-ends better than
+    either pure closed or pure open.  Midway through the measured window
+    the session arrival rate jumps by ``surge_factor`` (the flash crowd).
+    Two transaction classes act as tenants: ``steady`` (25 % of
+    submissions, no quotas — it is never busy-signaled, at any scale) and
+    ``burst`` (75 % of submissions, tight admission *and* queue quotas).
+    When the crowd hits, the gate's per-tenant quotas make the admission
+    decision discriminating: ``burst`` arrivals beyond quota are shed
+    outright (``tenant_shed_burst``) while ``steady`` keeps flowing, so
+    the steady tenant's pinned ``tenant_p95_response_time_steady`` stays
+    within SLO as the burst tenant's tail blows out — the per-tenant
+    assertion the golden suite makes on this scenario.  IS control runs
+    against the uncontrolled reference under common random numbers.
+    """
+    base = base_params or default_system_params(seed=71)
+    classes = (
+        TransactionClassSpec(name="steady", weight=0.25, accesses_per_txn=8,
+                             write_fraction=0.3),
+        TransactionClassSpec(name="burst", weight=0.75, accesses_per_txn=8,
+                             write_fraction=0.3,
+                             admission_quota=burst_admission_quota,
+                             queue_quota=burst_queue_quota),
+    )
+    jump_time = scale.warmup + scale.stationary_horizon / 2.0
+
+    def crowd(offered_load: int) -> PartlyOpenArrivals:
+        before = rate_per_load * offered_load
+        return PartlyOpenArrivals(
+            JumpSchedule(before=before, after=surge_factor * before,
+                         jump_time=jump_time),
+            session_alpha=1.5, min_session=1, max_session=20,
+            session_think_time=0.05)
+
+    return _stationary_cells("flash_crowd", scale, base, [
+        ("without control", None),
+        ("IS control", ControllerSpec.make("incremental_steps")),
+    ], workload_classes=classes, arrivals=crowd)

@@ -30,6 +30,7 @@ from repro.core.parabola import ParabolaController
 from repro.core.rules import IyerRule, TayRule
 from repro.core.static import FixedLimit, NoControl
 from repro.experiments.config import ExperimentScale
+from repro.tp.arrivals import ArrivalProcess, ClosedArrivals, OpenArrivals, PartlyOpenArrivals
 from repro.tp.params import SystemParams, WorkloadParams
 from repro.tp.workload import (
     ConstantSchedule,
@@ -234,6 +235,14 @@ class RunSpec:
     #: probe set itself is built inside the worker from these plain names,
     #: which is how probes propagate to multiprocessing and dist workers.
     probes: Optional[Tuple[str, ...]] = None
+    #: stationary runs only: how transactions enter the system.  ``None``
+    #: (the default) and :class:`~repro.tp.arrivals.ClosedArrivals` run the
+    #: paper's closed terminal model; :class:`~repro.tp.arrivals.OpenArrivals`
+    #: / :class:`~repro.tp.arrivals.PartlyOpenArrivals` replace the terminals
+    #: with an open source.  Opt-in (and JSON-emitted only when set) for the
+    #: same golden-stability reason as the diagnostics flags: cells that do
+    #: not ask for an arrival model keep their byte-identical schema.
+    arrivals: Optional[ArrivalProcess] = None
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_STATIONARY, KIND_TRACKING):
@@ -264,6 +273,16 @@ class RunSpec:
             from repro.obs.probes import validate_probes
 
             object.__setattr__(self, "probes", validate_probes(self.probes))
+        if self.arrivals is not None:
+            if self.kind != KIND_STATIONARY:
+                raise ValueError(
+                    "arrival models are supported for stationary runs only"
+                )
+            if not isinstance(self.arrivals, ArrivalProcess):
+                raise TypeError(
+                    "arrivals must be None or an ArrivalProcess, "
+                    f"got {type(self.arrivals).__name__}"
+                )
         if self.cc is not None and not isinstance(self.cc, CCSpec) \
                 and not callable(self.cc):
             raise TypeError(
@@ -334,6 +353,41 @@ def _encode_schedule(schedule: ParameterSchedule) -> dict:
     raise ValueError(
         f"schedule type {type(schedule).__name__} has no JSON encoding"
     )
+
+
+def _encode_arrivals(arrivals: ArrivalProcess) -> dict:
+    if type(arrivals) is ClosedArrivals:
+        return {"kind": ClosedArrivals.kind}
+    if type(arrivals) is OpenArrivals:
+        return {"kind": OpenArrivals.kind,
+                "rate": _encode_schedule(arrivals.rate)}
+    if type(arrivals) is PartlyOpenArrivals:
+        return {"kind": PartlyOpenArrivals.kind,
+                "rate": _encode_schedule(arrivals.rate),
+                "session_alpha": arrivals.session_alpha,
+                "min_session": arrivals.min_session,
+                "max_session": arrivals.max_session,
+                "session_think_time": arrivals.session_think_time}
+    raise ValueError(
+        f"arrival process type {type(arrivals).__name__} has no JSON encoding"
+    )
+
+
+def _decode_arrivals(data: dict) -> ArrivalProcess:
+    kind = data["kind"]
+    if kind == ClosedArrivals.kind:
+        return ClosedArrivals()
+    if kind == OpenArrivals.kind:
+        return OpenArrivals(_decode_schedule(data["rate"]))
+    if kind == PartlyOpenArrivals.kind:
+        return PartlyOpenArrivals(
+            _decode_schedule(data["rate"]),
+            session_alpha=data["session_alpha"],
+            min_session=data["min_session"],
+            max_session=data["max_session"],
+            session_think_time=data["session_think_time"],
+        )
+    raise ValueError(f"unknown arrival kind {kind!r}")
 
 
 def _decode_schedule(data: dict) -> ParameterSchedule:
@@ -427,6 +481,12 @@ def run_spec_to_jsonable(spec: RunSpec) -> dict:
                 "weight": cls.weight,
                 "accesses_per_txn": cls.accesses_per_txn,
                 "write_fraction": cls.write_fraction,
+                # quota keys are emitted only when set, so archives of
+                # quota-free mixes keep their pre-quota byte encoding
+                **({"admission_quota": cls.admission_quota}
+                   if cls.admission_quota is not None else {}),
+                **({"queue_quota": cls.queue_quota}
+                   if cls.queue_quota is not None else {}),
             }
             for cls in spec.workload_classes
         ],
@@ -441,6 +501,9 @@ def run_spec_to_jsonable(spec: RunSpec) -> dict:
     # fuzz corpus, which CI compares byte-for-byte) stays byte-identical
     if spec.probes is not None:
         data["probes"] = list(spec.probes)
+    # same byte-identity discipline for the arrival model
+    if spec.arrivals is not None:
+        data["arrivals"] = _encode_arrivals(spec.arrivals)
     return data
 
 
@@ -495,6 +558,8 @@ def run_spec_from_jsonable(data: dict) -> RunSpec:
         scheme_diagnostics=data["scheme_diagnostics"],
         isolation_diagnostics=data["isolation_diagnostics"],
         probes=tuple(data["probes"]) if data.get("probes") else None,
+        arrivals=(_decode_arrivals(data["arrivals"])
+                  if data.get("arrivals") else None),
     )
 
 

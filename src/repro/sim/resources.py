@@ -95,6 +95,10 @@ class Resource:
         self._queue_time_integral = 0.0
         self.total_requests = 0
         self.total_wait_time = 0.0
+        # start of the measured window: construction time, rebound by
+        # reset_statistics() so the rate denominators always match the span
+        # the integrals actually cover
+        self._measured_from = sim.now
 
     # ------------------------------------------------------------------
     @property
@@ -166,18 +170,24 @@ class Resource:
             self._queue_time_integral += elapsed * self._waiting_count
             self._last_change = now
 
-    def utilisation(self, since: float = 0.0) -> float:
-        """Mean fraction of busy servers since ``since`` (default run start)."""
+    def utilisation(self) -> float:
+        """Mean fraction of busy servers over the measured window.
+
+        The window runs from construction (or the last
+        :meth:`reset_statistics`, the end of warm-up) to now — the same
+        span the busy-time integral covers, so the ratio cannot be
+        computed against a mismatched window.
+        """
         self._accumulate()
-        horizon = self.sim.now - since
+        horizon = self.sim.now - self._measured_from
         if horizon <= 0:
             return 0.0
         return self._busy_time_integral / (horizon * self.capacity)
 
-    def mean_queue_length(self, since: float = 0.0) -> float:
-        """Time-averaged number of waiting requests."""
+    def mean_queue_length(self) -> float:
+        """Time-averaged number of waiting requests over the measured window."""
         self._accumulate()
-        horizon = self.sim.now - since
+        horizon = self.sim.now - self._measured_from
         if horizon <= 0:
             return 0.0
         return self._queue_time_integral / horizon
@@ -190,6 +200,7 @@ class Resource:
         self.total_requests = 0
         self.total_wait_time = 0.0
         self._last_change = self.sim.now
+        self._measured_from = self.sim.now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -9,6 +9,9 @@ confidence level.  The classes here provide the required building blocks:
   discrete observations such as response times.
 * :class:`TimeWeightedStats` -- time-weighted averages of piecewise-constant
   quantities such as the concurrency level ``n(t)``.
+* :class:`P2Quantile` -- deterministic streaming quantile estimation (the
+  P-squared algorithm of Jain & Chlamtac), used for the p95/p99 SLO
+  metrics of open-system runs.
 * :class:`BatchMeans` -- the classic batch-means method for confidence
   intervals on steady-state means from a single run.
 * :func:`confidence_interval` -- half-width of a t/normal confidence
@@ -239,6 +242,120 @@ class TimeWeightedStats:
         self._last_time = time
         self._minimum = self._value
         self._maximum = self._value
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P-squared algorithm.
+
+    Jain & Chlamtac (1985): five markers track the minimum, the maximum,
+    the target quantile and the two intermediate quantiles; every new
+    observation shifts the markers by at most one position, adjusting the
+    interior heights with a piecewise-parabolic prediction.  The estimate
+    is a pure function of the observation sequence — no random numbers, no
+    stored samples beyond the five markers — so the same trajectory yields
+    bit-identical quantiles on every executor, which is what lets the
+    ``p95_response_time``/``p99_response_time`` cell metrics be pinned by
+    the golden harness across serial, multiprocessing and dist runs.
+
+    Until five observations have arrived the estimate is the exact sample
+    quantile (linear interpolation of the sorted observations, which the
+    marker array still holds verbatim at that point).
+    """
+
+    __slots__ = ("probability", "_increments", "_heights", "_positions",
+                 "_desired", "count")
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 < probability < 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1), got {probability}"
+            )
+        self.probability = float(probability)
+        p = self.probability
+        #: per-observation growth of the desired marker positions
+        self._increments = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        heights = self._heights
+        if self.count <= 5:
+            heights.append(value)
+            heights.sort()
+            return
+        positions = self._positions
+        # locate the marker cell containing the observation, widening the
+        # extreme markers when the observation falls outside them
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        desired = self._desired
+        increments = self._increments
+        for index in range(5):
+            desired[index] += increments[index]
+        for index in (1, 2, 3):
+            deviation = desired[index] - positions[index]
+            if (deviation >= 1.0 and positions[index + 1] - positions[index] > 1.0) or \
+               (deviation <= -1.0 and positions[index - 1] - positions[index] < -1.0):
+                step = 1.0 if deviation >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, step)
+                positions[index] += step
+
+    def _parabolic(self, index: int, step: float) -> float:
+        q = self._heights
+        n = self._positions
+        return q[index] + step / (n[index + 1] - n[index - 1]) * (
+            (n[index] - n[index - 1] + step)
+            * (q[index + 1] - q[index]) / (n[index + 1] - n[index])
+            + (n[index + 1] - n[index] - step)
+            * (q[index] - q[index - 1]) / (n[index] - n[index - 1])
+        )
+
+    def _linear(self, index: int, step: float) -> float:
+        q = self._heights
+        n = self._positions
+        neighbour = index + int(step)
+        return q[index] + step * (q[neighbour] - q[index]) / (n[neighbour] - n[index])
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate (0.0 before any observation)."""
+        count = self.count
+        if count == 0:
+            return 0.0
+        heights = self._heights
+        if count <= 5:
+            rank = self.probability * (count - 1)
+            low = int(math.floor(rank))
+            high = min(low + 1, count - 1)
+            fraction = rank - low
+            return heights[low] * (1.0 - fraction) + heights[high] * fraction
+        return heights[2]
+
+    def reset(self) -> None:
+        """Forget all observations (the quantile target is kept)."""
+        self.__init__(self.probability)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"P2Quantile(p={self.probability}, n={self.count}, value={self.value:.4g})"
 
 
 @dataclass

@@ -41,6 +41,8 @@ ADMIT = "admit"
 COMMIT = "commit"
 ABORT = "abort"
 DEPART = "depart"
+#: open-system runs: an arrival rejected outright by a tenant queue quota
+SHED = "shed"
 
 
 class TrajectoryTracer:

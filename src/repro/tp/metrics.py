@@ -14,7 +14,7 @@ from typing import Dict
 
 from repro.cc.base import AbortReason
 from repro.sim.engine import Simulator
-from repro.sim.stats import ObservationStats, TimeWeightedStats
+from repro.sim.stats import ObservationStats, P2Quantile, TimeWeightedStats
 
 
 @dataclass(slots=True)
@@ -48,11 +48,30 @@ class RunMetrics:
         self.aborts_by_reason: Dict[AbortReason, int] = {reason: 0 for reason in AbortReason}
         self.response_times = ObservationStats()
         self.waiting_times = ObservationStats()
+        # streaming SLO percentiles of the response-time distribution; pure
+        # functions of the commit sequence (no RNG), so accumulating them
+        # unconditionally leaves every trajectory untouched
+        self.response_p95 = P2Quantile(0.95)
+        self.response_p99 = P2Quantile(0.99)
+        #: per-tenant commit counts and SLO percentiles (tenant = class name;
+        #: the single-class workload books everything under "")
+        self.commits_by_tenant: Dict[str, int] = {}
+        self.tenant_response_p95: Dict[str, P2Quantile] = {}
+        self.tenant_response_p99: Dict[str, P2Quantile] = {}
+        #: arrivals rejected outright by a tenant queue quota
+        self.shed = 0
+        self.shed_by_tenant: Dict[str, int] = {}
         self.concurrency = TimeWeightedStats(sim.now, 0.0)
         self.admission_queue = TimeWeightedStats(sim.now, 0.0)
         # interval accumulators for the measurement process
         self._interval = IntervalCounters()
         self._measurement_start = sim.now
+        #: start of the run-level measured window: construction time, rebound
+        #: by :meth:`reset` (the end of warm-up).  Rate metrics divide by
+        #: ``now - measured_from`` — the same origin the counters use, so a
+        #: caller can no longer pair the post-reset commit count with a
+        #: mismatched window of their own choosing.
+        self.measured_from = sim.now
 
     # ------------------------------------------------------------------
     # event recording (called by the transaction system)
@@ -65,16 +84,31 @@ class RunMetrics:
         """A transaction left the admission queue and entered the system."""
         self.waiting_times.add(waiting_time)
 
-    def record_commit(self, response_time: float, conflicts: int = 0) -> None:
+    def record_commit(self, response_time: float, conflicts: int = 0,
+                      tenant: str = "") -> None:
         """A transaction committed with the given submission-to-commit latency."""
         self.commits += 1
         self.response_times.add(response_time)
+        self.response_p95.add(response_time)
+        self.response_p99.add(response_time)
+        self.commits_by_tenant[tenant] = self.commits_by_tenant.get(tenant, 0) + 1
+        p95 = self.tenant_response_p95.get(tenant)
+        if p95 is None:
+            p95 = self.tenant_response_p95[tenant] = P2Quantile(0.95)
+            self.tenant_response_p99[tenant] = P2Quantile(0.99)
+        p95.add(response_time)
+        self.tenant_response_p99[tenant].add(response_time)
         interval = self._interval
         interval.commits += 1
         interval.response_time_sum += response_time
         interval.response_time_count += 1
         interval.conflicts += conflicts
         self.conflicts += conflicts
+
+    def record_shed(self, tenant: str = "") -> None:
+        """An arrival was rejected outright by a tenant queue quota."""
+        self.shed += 1
+        self.shed_by_tenant[tenant] = self.shed_by_tenant.get(tenant, 0) + 1
 
     def record_abort(self, reason: AbortReason, conflicts: int = 0) -> None:
         """An execution was abandoned (it may restart afterwards)."""
@@ -113,9 +147,14 @@ class RunMetrics:
     # ------------------------------------------------------------------
     # derived run-level quantities
     # ------------------------------------------------------------------
-    def throughput(self, since: float = 0.0) -> float:
-        """Committed transactions per second over the whole run (since ``since``)."""
-        horizon = self.sim.now - since
+    def throughput(self) -> float:
+        """Committed transactions per second over the measured window.
+
+        The window runs from :attr:`measured_from` (construction, or the
+        last :meth:`reset`) to now — exactly the span over which
+        :attr:`commits` has been counting.
+        """
+        horizon = self.sim.now - self.measured_from
         if horizon <= 0:
             return 0.0
         return self.commits / horizon
@@ -142,6 +181,22 @@ class RunMetrics:
     def mean_response_time(self) -> float:
         """Mean submission-to-commit latency over the run."""
         return self.response_times.mean
+
+    @property
+    def p95_response_time(self) -> float:
+        """Streaming 95th-percentile submission-to-commit latency."""
+        return self.response_p95.value
+
+    @property
+    def p99_response_time(self) -> float:
+        """Streaming 99th-percentile submission-to-commit latency.
+
+        The two percentiles are tracked by *independent* P² estimators,
+        and their approximations can cross slightly under heavy-tailed
+        overload; the reported tail is clamped to the 95th so the
+        ``p95 <= p99`` invariant holds for consumers.
+        """
+        return max(self.response_p99.value, self.response_p95.value)
 
     def mean_concurrency(self) -> float:
         """Time-averaged number of admitted transactions."""

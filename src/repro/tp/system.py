@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
 
 from repro.cc.base import AbortReason, ConcurrencyControl, TransactionAborted
 from repro.cc.timestamp_cert import TimestampCertification
-from repro.core.admission import AdmissionGate
+from repro.core.admission import AdmissionGate, AdmissionShed
 from repro.core.controller import LoadController
 from repro.core.displacement import DisplacementPolicy
 from repro.core.measurement import MeasurementProcess
@@ -38,6 +38,7 @@ from repro.sim import trace as sim_trace
 from repro.sim.engine import Interrupt, Process, Simulator
 from repro.sim.random_streams import RandomStreams
 from repro.sim.resources import Resource
+from repro.tp.arrivals import SESSION_THINK_STREAM, ArrivalProcess, ClosedArrivals
 from repro.tp.metrics import RunMetrics
 from repro.tp.params import SystemParams
 from repro.tp.transaction import Transaction
@@ -64,8 +65,13 @@ class TransactionSystem:
                  gate: Optional[AdmissionGate] = None,
                  displacement: Optional[DisplacementPolicy] = None,
                  resubmit_displaced: bool = True,
-                 probes: Optional["ProbeSet"] = None):
+                 probes: Optional["ProbeSet"] = None,
+                 arrivals: Optional[ArrivalProcess] = None):
         self.params = params
+        #: how transactions enter the system: None/ClosedArrivals = the
+        #: paper's N-terminal closed model, otherwise an open or partly-open
+        #: source (see repro.tp.arrivals) replaces the terminal processes
+        self.arrivals = arrivals
         self.sim = sim or Simulator()
         self.streams = streams or RandomStreams(params.seed)
         self.workload = workload or Workload.constant(params.workload, self.streams)
@@ -126,7 +132,12 @@ class TransactionSystem:
         return self.measurement
 
     def start(self) -> None:
-        """Create the terminal processes (and the measurement loop, if any)."""
+        """Create the source processes (and the measurement loop, if any).
+
+        Closed arrivals (``arrivals=None`` or :class:`ClosedArrivals`) run
+        the paper's ``N`` terminal processes; open and partly-open arrivals
+        run a single source process instead.
+        """
         if self._started:
             raise RuntimeError("the system has already been started")
         self._started = True
@@ -136,11 +147,14 @@ class TransactionSystem:
             # the sampler draws no RNG and mutates no model state, so its
             # extra heap events leave the model trajectory untouched
             self.sim.process(self._probes.sampler(), name="probe-sampler")
-        for terminal_id in range(self.params.n_terminals):
-            process = self.sim.process(
-                self._terminal(terminal_id), name=f"terminal-{terminal_id}"
-            )
-            self._terminal_processes.append(process)
+        if self.arrivals is None or isinstance(self.arrivals, ClosedArrivals):
+            for terminal_id in range(self.params.n_terminals):
+                process = self.sim.process(
+                    self._terminal(terminal_id), name=f"terminal-{terminal_id}"
+                )
+                self._terminal_processes.append(process)
+        else:
+            self.sim.process(self._arrival_source(), name="arrival-source")
 
     def run(self, until: float) -> float:
         """Start (if necessary) and run the simulation until ``until``."""
@@ -192,11 +206,65 @@ class TransactionSystem:
                 self._tracer.record(self.sim.now, sim_trace.SUBMIT, txn.txn_id)
             yield from self._submit_and_process(txn)
 
-    def _submit_and_process(self, txn: Transaction) -> Generator:
-        """Submit ``txn`` to the gate and run it until commit (or final abort)."""
+    def _arrival_source(self) -> Generator:
+        """Open/partly-open source: spawn a session at every arrival instant.
+
+        Sessions run as independent processes (an open source never waits
+        for earlier work), so a congested system keeps receiving arrivals —
+        the load shape that makes shedding, rather than queueing, the only
+        defence against sustained overload.
+        """
+        arrivals = self.arrivals
+        streams = self.streams
+        session_id = 0
         while True:
-            yield self.gate.submit(txn)
-            self.metrics.record_admission(self.sim.now - txn.submitted_at)
+            gap = arrivals.next_interarrival(streams, self.sim.now)
+            if gap > 0:
+                yield self.sim.timeout(gap)
+            size = arrivals.session_size(streams)
+            self.sim.process(
+                self._session(session_id, size), name=f"session-{session_id}"
+            )
+            session_id += 1
+
+    def _session(self, session_id: int, size: int) -> Generator:
+        """One arriving session: submit ``size`` transactions, then leave."""
+        think_mean = self.arrivals.session_think_time
+        for index in range(size):
+            if index and think_mean > 0:
+                think = float(self.streams.exponential(SESSION_THINK_STREAM, think_mean))
+                if think > 0:
+                    yield self.sim.timeout(think)
+            txn = self.workload.next_transaction(self.sim.now, session_id)
+            self.metrics.record_submission()
+            if self._tracer is not None:
+                self._tracer.record(self.sim.now, sim_trace.SUBMIT, txn.txn_id)
+            yield from self._submit_and_process(txn)
+
+    def _submit_and_process(self, txn: Transaction) -> Generator:
+        """Submit ``txn`` to the gate and run it until commit (or final abort).
+
+        A submission shed by a tenant queue quota ends here: the failed
+        admission event raises :class:`AdmissionShed` at the ``yield``, the
+        shed is booked, and the transaction never enters the system (so no
+        ``depart`` either).
+        """
+        while True:
+            # per-attempt enqueue timestamp: a displaced-then-resubmitted
+            # transaction re-enters the queue *now*, so its waiting-time
+            # statistic must not include the previous attempt's in-system
+            # residence (response time keeps the original submitted_at)
+            enqueued_at = self.sim.now
+            try:
+                yield self.gate.submit(txn)
+            except AdmissionShed:
+                self.metrics.record_shed(txn.tenant)
+                self.metrics.record_admission_queue(self.gate.queue_length)
+                if self._tracer is not None:
+                    self._tracer.record(self.sim.now, sim_trace.SHED, txn.txn_id,
+                                        txn.tenant)
+                return
+            self.metrics.record_admission(self.sim.now - enqueued_at)
             self.metrics.record_concurrency(self.gate.current_load)
             self.metrics.record_admission_queue(self.gate.queue_length)
             if self._tracer is not None:
@@ -266,7 +334,8 @@ class TransactionSystem:
                     self.cc.finish(txn)
                     txn.committed_at = self.sim.now
                     self.metrics.record_commit(
-                        txn.committed_at - txn.submitted_at, txn.last_conflicts
+                        txn.committed_at - txn.submitted_at, txn.last_conflicts,
+                        tenant=txn.tenant,
                     )
                     if probes is not None:
                         probes.observe_commit_residence(
@@ -353,6 +422,7 @@ class TransactionSystem:
             "conflict_ratio": self.metrics.conflict_ratio,
             "cpu_utilisation": self.cpus.utilisation(),
             "current_limit": self.gate.limit,
+            "schedule_clamped": float(self.workload.schedule_clamped),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

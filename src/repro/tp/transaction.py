@@ -37,6 +37,10 @@ class Transaction:
     items: Tuple[int, ...]
     #: parallel to ``items``: True where the access is a write
     write_flags: Tuple[bool, ...]
+    #: tenant (transaction class name) the submission belongs to; empty for
+    #: the single-class workload — per-tenant admission quotas and SLO
+    #: metrics key off this
+    tenant: str = ""
     #: time the transaction was submitted to the admission gate
     submitted_at: float = 0.0
     #: time the transaction was admitted into the processing system

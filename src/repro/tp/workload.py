@@ -157,6 +157,21 @@ def _as_schedule(value) -> ParameterSchedule:
     return ConstantSchedule(float(value))
 
 
+def static_schedule_values(schedule: ParameterSchedule) -> Tuple[float, ...]:
+    """Every value a constant/jump/step schedule can ever take.
+
+    Dynamic schedules (sinusoid) return an empty tuple — their range is
+    checked at evaluation time instead (see :meth:`Workload.params_at`).
+    """
+    if isinstance(schedule, ConstantSchedule):
+        return (schedule._value,)
+    if isinstance(schedule, JumpSchedule):
+        return (schedule.before, schedule.after)
+    if isinstance(schedule, StepSchedule):
+        return (schedule.initial,) + tuple(value for _, value in schedule.steps)
+    return ()
+
+
 class Workload:
     """Samples transactions according to (possibly time-varying) parameters."""
 
@@ -178,6 +193,13 @@ class Workload:
         # call; params_at is invoked per submission and the values are
         # piecewise constant, so the frozen result is almost always reusable
         self._params_cache: Optional[Tuple[Tuple[float, float, float], WorkloadParams]] = None
+        #: evaluations of *dynamic* schedules that had to be clamped into the
+        #: valid parameter domain (see :meth:`params_at`); a non-zero count
+        #: means the run simulated different parameters than the schedules
+        #: declared, which fuzz adversaries and misconfigured arrival shapes
+        #: must not be able to mask
+        self.schedule_clamped = 0
+        self._reject_static_out_of_range()
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -207,15 +229,56 @@ class Workload:
             ),
         )
 
+    def _reject_static_out_of_range(self) -> None:
+        """Fail loudly on constant/jump/step schedules outside the domain.
+
+        A statically out-of-range schedule would be clamped on *every*
+        evaluation — the run would silently report and sweep different
+        parameters than the spec declared, and the analytic reference would
+        be computed from the clamped values.  Rejecting at construction
+        turns that misconfiguration into an immediate error; only
+        genuinely dynamic excursions (a sinusoid overshooting its domain)
+        reach the clamp-and-count path of :meth:`params_at`.
+        """
+        db_size = self.base.db_size
+        for value in static_schedule_values(self._accesses):
+            k = int(round(value))
+            if not 1 <= k <= db_size:
+                raise ValueError(
+                    f"accesses schedule value {value} is outside [1, {db_size}] "
+                    "(after rounding); the run would silently clamp it"
+                )
+        for name, schedule in (("query_fraction", self._query_fraction),
+                               ("write_fraction", self._write_fraction)):
+            for value in static_schedule_values(schedule):
+                if not 0.0 <= value <= 1.0:
+                    raise ValueError(
+                        f"{name} schedule value {value} is outside [0, 1]; "
+                        "the run would silently clamp it"
+                    )
+
     # ------------------------------------------------------------------
     # time-varying parameter access
     # ------------------------------------------------------------------
     def params_at(self, time: float) -> WorkloadParams:
-        """The workload parameters in effect at ``time``."""
-        k = int(round(self._accesses.value(time)))
-        k = max(1, min(k, self.base.db_size))
-        query_fraction = min(1.0, max(0.0, self._query_fraction.value(time)))
-        write_fraction = min(1.0, max(0.0, self._write_fraction.value(time)))
+        """The workload parameters in effect at ``time``.
+
+        Values of *dynamic* schedules that stray outside the valid domain
+        (a sinusoid whose amplitude exceeds its mean, say) are clamped into
+        it, and every clamping evaluation increments
+        :attr:`schedule_clamped` so the misconfiguration is visible as a
+        diagnostic instead of silently changing the simulated parameters.
+        Statically out-of-range schedules never get this far — they are
+        rejected at construction.
+        """
+        raw_k = int(round(self._accesses.value(time)))
+        k = max(1, min(raw_k, self.base.db_size))
+        raw_query = self._query_fraction.value(time)
+        query_fraction = min(1.0, max(0.0, raw_query))
+        raw_write = self._write_fraction.value(time)
+        write_fraction = min(1.0, max(0.0, raw_write))
+        if k != raw_k or query_fraction != raw_query or write_fraction != raw_write:
+            self.schedule_clamped += 1
         key = (k, query_fraction, write_fraction)
         cached = self._params_cache
         if cached is not None and cached[0] == key:
@@ -290,6 +353,13 @@ class TransactionClassSpec:
     accesses_per_txn: int
     #: probability that an access of this class's updaters is a write
     write_fraction: float = 0.0
+    #: cap on this tenant's concurrently *admitted* transactions (open-system
+    #: isolation: one bursting tenant cannot monopolise the gate's limit);
+    #: None = bounded only by the gate's global threshold
+    admission_quota: Optional[int] = None
+    #: cap on this tenant's *waiting* transactions; an arrival beyond it is
+    #: shed (its admission fails) instead of queued.  None = unbounded queue
+    queue_quota: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -303,6 +373,14 @@ class TransactionClassSpec:
         if not 0.0 <= self.write_fraction <= 1.0:
             raise ValueError(
                 f"write_fraction must be in [0, 1], got {self.write_fraction}"
+            )
+        if self.admission_quota is not None and self.admission_quota < 1:
+            raise ValueError(
+                f"admission_quota must be >= 1, got {self.admission_quota}"
+            )
+        if self.queue_quota is not None and self.queue_quota < 0:
+            raise ValueError(
+                f"queue_quota must be >= 0, got {self.queue_quota}"
             )
 
     @property
@@ -410,6 +488,7 @@ class MixedClassWorkload(Workload):
             txn_class=txn_class,
             items=items,
             write_flags=write_flags,
+            tenant=spec.name,
             submitted_at=time,
         )
         self._next_txn_id += 1

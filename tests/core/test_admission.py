@@ -4,12 +4,12 @@ import math
 
 import pytest
 
-from repro.core.admission import AdmissionGate
+from repro.core.admission import AdmissionGate, AdmissionShed
 from repro.sim.engine import SimulationError, Simulator
 from repro.tp.transaction import Transaction, TransactionClass
 
 
-def make_txn(txn_id):
+def make_txn(txn_id, tenant=""):
     return Transaction(
         txn_id=txn_id,
         terminal_id=0,
@@ -17,6 +17,7 @@ def make_txn(txn_id):
         items=(txn_id,),
         write_flags=(False,),
         submitted_at=0.0,
+        tenant=tenant,
     )
 
 
@@ -119,6 +120,93 @@ class TestAdmission:
             gate.submit(make_txn(i))
         assert gate.queue_length == 0
         assert gate.current_load == 100
+
+
+class TestTenantQuotas:
+    def test_admission_quota_caps_a_tenant_below_the_global_limit(self, sim):
+        gate = AdmissionGate(sim, initial_limit=10, tenant_quotas={"burst": 2})
+        events = [gate.submit(make_txn(i, tenant="burst")) for i in range(4)]
+        assert [event.triggered for event in events] == [True, True, False, False]
+        assert gate.admitted_of_tenant("burst") == 2
+        assert gate.waiting_of_tenant("burst") == 2
+
+    def test_unquota_tenants_are_unaffected_by_other_quotas(self, sim):
+        gate = AdmissionGate(sim, initial_limit=10, tenant_quotas={"burst": 1})
+        gate.submit(make_txn(0, tenant="burst"))
+        gate.submit(make_txn(1, tenant="burst"))          # queued: over quota
+        steady = gate.submit(make_txn(2, tenant="steady"))
+        assert steady.triggered
+        assert gate.admitted_of_tenant("steady") == 1
+
+    def test_fcfs_among_eligible_skips_over_quota_heads(self, sim):
+        """An over-quota waiter at the head must not stall eligible tenants
+        behind it (head-of-line blocking would couple the tenants)."""
+        gate = AdmissionGate(sim, initial_limit=10, tenant_quotas={"burst": 1})
+        gate.submit(make_txn(0, tenant="burst"))
+        blocked = gate.submit(make_txn(1, tenant="burst"))
+        eligible = gate.submit(make_txn(2, tenant="steady"))
+        assert not blocked.triggered
+        assert eligible.triggered
+
+    def test_departure_readmits_the_over_quota_waiter(self, sim):
+        gate = AdmissionGate(sim, initial_limit=10, tenant_quotas={"burst": 1})
+        first = make_txn(0, tenant="burst")
+        gate.submit(first)
+        waiting = gate.submit(make_txn(1, tenant="burst"))
+        gate.depart(first)
+        assert waiting.triggered
+        assert gate.admitted_of_tenant("burst") == 1
+
+    def test_queue_quota_sheds_with_a_failed_event(self, sim):
+        gate = AdmissionGate(sim, initial_limit=1,
+                             tenant_queue_quotas={"burst": 1})
+        gate.submit(make_txn(0, tenant="burst"))       # admitted
+        gate.submit(make_txn(1, tenant="burst"))       # queued (quota 1)
+        shed = gate.submit(make_txn(2, tenant="burst"))
+        assert shed.triggered and not shed.ok
+        assert isinstance(shed._exception, AdmissionShed)
+        assert gate.total_shed == 1
+        assert gate.shed_by_tenant == {"burst": 1}
+        assert gate.queue_length == 1
+
+    def test_shedding_is_per_tenant(self, sim):
+        gate = AdmissionGate(sim, initial_limit=1,
+                             tenant_queue_quotas={"burst": 0})
+        gate.submit(make_txn(0, tenant="steady"))      # fills the system
+        shed = gate.submit(make_txn(1, tenant="burst"))
+        queued = gate.submit(make_txn(2, tenant="steady"))
+        assert shed.triggered and not shed.ok
+        assert not queued.triggered                    # queued, not shed
+        assert gate.shed_by_tenant == {"burst": 1}
+
+    def test_conservation_with_quotas(self, sim):
+        gate = AdmissionGate(sim, initial_limit=2, tenant_quotas={"a": 1},
+                             tenant_queue_quotas={"a": 1})
+        transactions = [make_txn(i, tenant="a" if i % 2 else "b")
+                        for i in range(8)]
+        outcomes = [gate.submit(txn) for txn in transactions]
+        for txn, event in zip(transactions, outcomes):
+            if event.triggered and event.ok:
+                gate.depart(txn)
+        submitted = len(transactions)
+        assert (gate.total_admitted + gate.total_shed + gate.queue_length
+                == submitted)
+        assert gate.current_load == gate.total_admitted - gate.total_departed
+
+    def test_cancel_decrements_tenant_waiting_count(self, sim):
+        gate = AdmissionGate(sim, initial_limit=1, tenant_quotas={"a": 1})
+        gate.submit(make_txn(0, tenant="a"))
+        waiting = make_txn(1, tenant="a")
+        gate.submit(waiting)
+        assert gate.waiting_of_tenant("a") == 1
+        assert gate.cancel(waiting) is True
+        assert gate.waiting_of_tenant("a") == 0
+
+    def test_quota_free_gate_has_no_tenant_tracking_overhead(self, sim):
+        gate = AdmissionGate(sim, initial_limit=2)
+        gate.submit(make_txn(0, tenant="a"))
+        assert gate._tenant_tracking is False
+        assert gate.admitted_of_tenant("a") == 0       # bookkeeping skipped
 
 
 class TestGateStatistics:

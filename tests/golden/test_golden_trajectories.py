@@ -8,8 +8,9 @@ The original five were generated with ``tools/regen_goldens.py`` *before*
 the hot-path rewrite of the engine and act as the bit-for-bit contract the
 optimised engine must honour; later scenarios (``mixed_classes``,
 ``cc_compare``, ``displacement_policies``, ``deadlock_resolution``,
-``isolation_tradeoff``, ``probe_calibration``) were pinned the moment they
-were introduced.
+``isolation_tradeoff``, ``probe_calibration``, and the open-system pair
+``open_diurnal``/``flash_crowd``) were pinned the moment they were
+introduced.
 
 Two assertions per scenario:
 
@@ -96,7 +97,7 @@ def test_workers2_metrics_bitwise_identical(name):
 #: localhost cluster too
 DIST_PINNED_SCENARIOS = ("cc_compare", "displacement_policies",
                          "deadlock_resolution", "isolation_tradeoff",
-                         "probe_calibration")
+                         "probe_calibration", "open_diurnal", "flash_crowd")
 
 
 @pytest.mark.parametrize("name", DIST_PINNED_SCENARIOS)

@@ -83,9 +83,20 @@ class TestSweepBuilder:
         )
         assert all(cell.probes == ("lock_wait", "mpl") for cell in sweep.cells)
 
-    def test_probe_calibration_scenario_opts_into_every_builtin_probe(self):
+    def test_probe_calibration_scenario_keeps_its_frozen_probe_set(self):
+        """The scenario pins the six probes it was goldened with; probe
+        additions after that (arrival_backlog) must not widen its schema."""
         from repro.runner.registry import build_sweep
 
+        frozen = ("lock_wait", "lock_queue", "admission_queue", "mpl",
+                  "abort_rates", "displacement")
         sweep = build_sweep("probe_calibration", scale=ExperimentScale.smoke())
-        assert all(cell.probes == PROBE_NAMES for cell in sweep.cells)
+        assert all(cell.probes == frozen for cell in sweep.cells)
         assert all(cell.scheme_diagnostics for cell in sweep.cells)
+
+    def test_open_diurnal_scenario_carries_the_backlog_probe(self):
+        from repro.runner.registry import build_sweep
+
+        sweep = build_sweep("open_diurnal", scale=ExperimentScale.smoke())
+        assert all(cell.probes == ("arrival_backlog",) for cell in sweep.cells)
+        assert all(cell.arrivals is not None for cell in sweep.cells)

@@ -259,3 +259,93 @@ class TestRunSpecJsonRoundTrip:
         encoded["scenario"]["schedule"]["type"] = "sawtooth"
         with pytest.raises(ValueError, match="sawtooth"):
             run_spec_from_jsonable(encoded)
+
+
+class TestArrivalsOnRunSpec:
+    def _arrival_variants(self):
+        from repro.tp.arrivals import (
+            ClosedArrivals,
+            OpenArrivals,
+            PartlyOpenArrivals,
+        )
+
+        return (
+            ClosedArrivals(),
+            OpenArrivals(12.0),
+            OpenArrivals(SinusoidSchedule(mean=10.0, amplitude=6.0, period=4.0)),
+            PartlyOpenArrivals(JumpSchedule(before=5.0, after=20.0, jump_time=6.0),
+                               session_alpha=1.5, min_session=1, max_session=20,
+                               session_think_time=0.05),
+        )
+
+    def test_every_arrival_kind_round_trips_exactly(self):
+        for arrivals in self._arrival_variants():
+            spec = _stationary_spec(arrivals=arrivals)
+            encoded = json.loads(json.dumps(run_spec_to_jsonable(spec)))
+            clone = run_spec_from_jsonable(encoded)
+            assert clone == spec, type(arrivals).__name__
+            assert clone.arrivals == arrivals
+
+    def test_encoder_omits_the_key_when_arrivals_are_closed_by_default(self):
+        """Pre-arrivals archives (and the fuzz corpus) must stay
+        byte-identical, so the field only appears when set."""
+        data = run_spec_to_jsonable(_stationary_spec())
+        assert "arrivals" not in data
+
+    def test_decoder_tolerates_archives_predating_arrivals(self):
+        data = run_spec_to_jsonable(_stationary_spec())
+        assert run_spec_from_jsonable(data).arrivals is None
+
+    def test_unknown_arrival_kind_rejected(self):
+        from repro.tp.arrivals import OpenArrivals
+
+        encoded = run_spec_to_jsonable(_stationary_spec(arrivals=OpenArrivals(5.0)))
+        encoded["arrivals"]["kind"] = "teleport"
+        with pytest.raises(ValueError, match="teleport"):
+            run_spec_from_jsonable(encoded)
+
+    def test_arrivals_are_stationary_only(self):
+        from repro.tp.arrivals import OpenArrivals
+
+        parameter, schedule = jump_scenario(
+            parameter="accesses", before=8, after=16, jump_time=10.0)
+        with pytest.raises(ValueError, match="stationary"):
+            RunSpec(
+                kind=KIND_TRACKING,
+                cell_id="test/tracking/open",
+                params=default_system_params(),
+                scale=ExperimentScale.smoke(),
+                controller=ControllerSpec.make("incremental_steps"),
+                scenario=(parameter, schedule),
+                arrivals=OpenArrivals(5.0),
+            )
+
+    def test_workload_class_quotas_round_trip(self):
+        spec = _stationary_spec(
+            workload_classes=(
+                TransactionClassSpec(name="steady", weight=1.0,
+                                     accesses_per_txn=8, write_fraction=0.3,
+                                     queue_quota=40),
+                TransactionClassSpec(name="burst", weight=3.0,
+                                     accesses_per_txn=8, write_fraction=0.3,
+                                     admission_quota=6, queue_quota=6),
+            ),
+        )
+        encoded = json.loads(json.dumps(run_spec_to_jsonable(spec)))
+        assert run_spec_from_jsonable(encoded) == spec
+
+    def test_quota_free_classes_encode_without_quota_keys(self):
+        spec = _stationary_spec(
+            workload_classes=(
+                TransactionClassSpec(name="oltp", weight=1.0,
+                                     accesses_per_txn=4),
+            ),
+        )
+        [encoded_class] = run_spec_to_jsonable(spec)["workload_classes"]
+        assert "admission_quota" not in encoded_class
+        assert "queue_quota" not in encoded_class
+
+    def test_arrival_spec_is_picklable(self):
+        for arrivals in self._arrival_variants():
+            spec = _stationary_spec(arrivals=arrivals)
+            assert pickle.loads(pickle.dumps(spec)) == spec

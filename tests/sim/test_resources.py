@@ -190,7 +190,33 @@ class TestResourceInProcesses:
         sim.run(until=4.0)
         resource.reset_statistics()
         sim.run(until=8.0)
-        assert resource.utilisation(since=4.0) == pytest.approx(0.0)
+        # idle after the reset: the rebound window reads as zero utilisation
+        assert resource.utilisation() == pytest.approx(0.0)
+
+    def test_reset_statistics_binds_rate_window(self):
+        """Regression: the rate denominator starts at the reset instant.
+
+        The server is idle for the first half of the run and fully busy
+        after the reset.  Pre-fix, ``utilisation()`` divided the post-reset
+        busy integral by the whole run (``since`` defaulted to 0.0), which
+        reported 0.5 here instead of 1.0.
+        """
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            yield sim.timeout(4.0)
+            request = resource.request()
+            yield request
+            yield sim.timeout(4.0)
+            resource.release(request)
+
+        sim.process(worker())
+        sim.run(until=4.0)
+        resource.reset_statistics()
+        sim.run(until=8.0)
+        assert resource.utilisation() == pytest.approx(1.0)
+        assert resource.mean_queue_length() == pytest.approx(0.0)
 
     def test_total_wait_time_accumulates(self):
         sim = Simulator()

@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 from repro.sim.stats import (
     BatchMeans,
     ObservationStats,
+    P2Quantile,
     TimeWeightedStats,
     confidence_interval,
     required_observations,
@@ -151,6 +152,83 @@ class TestTimeWeightedStats:
         end = now + 1.0
         mean = stats.mean(end)
         assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+class TestP2Quantile:
+    def test_probability_must_be_in_open_interval(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                P2Quantile(bad)
+
+    def test_empty_estimate_is_zero(self):
+        assert P2Quantile(0.95).value == 0.0
+        assert P2Quantile(0.95).count == 0
+
+    def test_small_samples_are_exact(self):
+        # below five observations the markers are the raw sorted sample, so
+        # the estimate is the exact interpolated sample quantile
+        estimator = P2Quantile(0.5)
+        for value in (9.0, 1.0, 5.0):
+            estimator.add(value)
+        assert estimator.value == pytest.approx(5.0)
+        estimator.add(7.0)
+        assert estimator.value == pytest.approx(6.0)  # median of 1,5,7,9
+
+    def test_converges_on_uniform_sample(self):
+        rng = np.random.default_rng(7)
+        estimator = P2Quantile(0.95)
+        values = rng.uniform(0.0, 100.0, size=20_000)
+        for value in values:
+            estimator.add(float(value))
+        exact = float(np.quantile(values, 0.95))
+        assert estimator.value == pytest.approx(exact, rel=0.02)
+
+    def test_converges_on_heavy_tailed_sample(self):
+        rng = np.random.default_rng(11)
+        estimator = P2Quantile(0.99)
+        values = rng.pareto(2.0, size=50_000)
+        for value in values:
+            estimator.add(float(value))
+        exact = float(np.quantile(values, 0.99))
+        assert estimator.value == pytest.approx(exact, rel=0.05)
+
+    def test_deterministic_replay(self):
+        # the estimate is a pure function of the observation sequence —
+        # the property the cross-executor golden assertions rely on
+        rng = np.random.default_rng(3)
+        values = [float(v) for v in rng.exponential(2.0, size=500)]
+        first = P2Quantile(0.95)
+        second = P2Quantile(0.95)
+        for value in values:
+            first.add(value)
+        for value in values:
+            second.add(value)
+        assert first.value == second.value
+
+    def test_reset_forgets_observations(self):
+        estimator = P2Quantile(0.9)
+        for value in range(100):
+            estimator.add(float(value))
+        estimator.reset()
+        assert estimator.count == 0
+        assert estimator.value == 0.0
+        assert estimator.probability == 0.9
+
+    def test_constant_stream(self):
+        estimator = P2Quantile(0.99)
+        for _ in range(50):
+            estimator.add(4.2)
+        assert estimator.value == pytest.approx(4.2)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_stays_within_observed_range(self, values):
+        estimator = P2Quantile(0.95)
+        for value in values:
+            estimator.add(value)
+        assert min(values) - 1e-9 <= estimator.value <= max(values) + 1e-9
 
 
 class TestBatchMeans:

@@ -53,11 +53,22 @@ class TestRunTotals:
         metrics.record_abort(AbortReason.CERTIFICATION)
         assert metrics.restart_ratio == pytest.approx(2.0)
 
-    def test_throughput_since(self, sim, metrics):
+    def test_throughput_window_bound_by_reset(self, sim, metrics):
+        """Regression: reset() binds the rate window to the reset instant.
+
+        Pre-fix, ``throughput(since=)`` left the window to the caller, so
+        the post-reset commit count was silently divided by a horizon that
+        included time before the reset (the default ``since=0.0`` here
+        would yield 2 / 20 = 0.1 instead of 2 / 10 = 0.2).
+        """
+        sim._now = 10.0
+        metrics.record_commit(1.0)  # pre-reset commit, must not count
+        metrics.reset()
+        assert metrics.measured_from == 10.0
         sim._now = 20.0
         metrics.record_commit(1.0)
         metrics.record_commit(1.0)
-        assert metrics.throughput(since=10.0) == pytest.approx(0.2)
+        assert metrics.throughput() == pytest.approx(0.2)
 
     def test_concurrency_time_average(self, sim, metrics):
         metrics.record_concurrency(0)
@@ -106,3 +117,129 @@ class TestIntervalAccounting:
     def test_empty_interval_counters(self):
         counters = IntervalCounters()
         assert counters.mean_response_time() == 0.0
+
+
+def _quantile_state(estimator):
+    """The complete internal state of a P² estimator, for exact comparison."""
+    return (estimator.probability, estimator.count,
+            tuple(estimator._heights), tuple(estimator._positions),
+            tuple(estimator._desired))
+
+
+def _observable_state(metrics, now):
+    """Every run-level quantity a caller can read off a RunMetrics."""
+    return {
+        "commits": metrics.commits,
+        "submitted": metrics.submitted,
+        "restarts": metrics.restarts,
+        "conflicts": metrics.conflicts,
+        "aborts_by_reason": dict(metrics.aborts_by_reason),
+        "shed": metrics.shed,
+        "shed_by_tenant": dict(metrics.shed_by_tenant),
+        "commits_by_tenant": dict(metrics.commits_by_tenant),
+        "response_stats": (metrics.response_times.count,
+                           metrics.response_times.total,
+                           metrics.response_times.maximum),
+        "waiting_stats": (metrics.waiting_times.count,
+                          metrics.waiting_times.total),
+        "p95": _quantile_state(metrics.response_p95),
+        "p99": _quantile_state(metrics.response_p99),
+        "tenant_p95": {tenant: _quantile_state(estimator)
+                       for tenant, estimator in metrics.tenant_response_p95.items()},
+        "tenant_p99": {tenant: _quantile_state(estimator)
+                       for tenant, estimator in metrics.tenant_response_p99.items()},
+        "measured_from": metrics.measured_from,
+        "throughput": metrics.throughput(),
+        "mean_response_time": metrics.mean_response_time(),
+        "mean_concurrency": metrics.mean_concurrency(),
+        "mean_queue": metrics.admission_queue.mean(now),
+    }
+
+
+class TestResetEquivalence:
+    """``reset()`` must leave the object indistinguishable from a fresh
+    RunMetrics built at the reset instant — the warm-up discard contract
+    that every measured window (and the SLO percentiles) relies on."""
+
+    def _event_batch(self, seed, start, count=120):
+        """A deterministic, varied event sequence starting at ``start``."""
+        import math
+
+        events = []
+        t = start
+        for i in range(count):
+            t += 0.05 + 0.04 * math.sin(seed + i)
+            tenant = ("steady", "burst", "")[i % 3]
+            kind = i % 7
+            if kind < 4:
+                events.append(("commit", t, 0.1 + 0.3 * ((seed * i) % 11) / 11.0,
+                               i % 2, tenant))
+            elif kind == 4:
+                events.append(("abort", t,
+                               AbortReason.CERTIFICATION if i % 2 else AbortReason.DEADLOCK))
+            elif kind == 5:
+                events.append(("shed", t, tenant))
+            else:
+                events.append(("gauge", t, float(i % 9), float(i % 4)))
+            events.append(("submit", t))
+            events.append(("admission", t, 0.01 * (i % 5)))
+        return events
+
+    def _apply(self, metrics, sim, events):
+        for event in events:
+            sim._now = event[1]
+            if event[0] == "commit":
+                metrics.record_commit(event[2], conflicts=event[3], tenant=event[4])
+            elif event[0] == "abort":
+                metrics.record_abort(event[2])
+            elif event[0] == "shed":
+                metrics.record_shed(event[2])
+            elif event[0] == "gauge":
+                metrics.record_concurrency(event[2])
+                metrics.record_admission_queue(event[3])
+            elif event[0] == "submit":
+                metrics.record_submission()
+            elif event[0] == "admission":
+                metrics.record_admission(event[2])
+
+    def test_reset_equals_fresh_metrics_replaying_the_same_events(self):
+        warmup = self._event_batch(seed=3, start=0.0)
+        measured = self._event_batch(seed=5, start=10.0)
+
+        sim = Simulator()
+        survivor = RunMetrics(sim)
+        self._apply(survivor, sim, warmup)
+        sim._now = 10.0
+        carried_concurrency = survivor.concurrency.current
+        carried_queue = survivor.admission_queue.current
+        survivor.reset()
+        self._apply(survivor, sim, measured)
+
+        fresh_sim = Simulator()
+        fresh_sim._now = 10.0
+        fresh = RunMetrics(fresh_sim)
+        # the documented carryover: reset preserves the *current* gauge
+        # levels (transactions in flight do not vanish at the window edge)
+        fresh.record_concurrency(carried_concurrency)
+        fresh.record_admission_queue(carried_queue)
+        fresh.concurrency.reset(10.0)
+        fresh.admission_queue.reset(10.0)
+        self._apply(fresh, fresh_sim, measured)
+
+        now = sim.now
+        fresh_sim._now = now
+        assert _observable_state(survivor, now) == _observable_state(fresh, now)
+
+    def test_reset_forgets_warmup_quantiles(self):
+        """The SLO estimators restart: extreme warm-up latencies must not
+        leak into the measured percentiles."""
+        sim = Simulator()
+        metrics = RunMetrics(sim)
+        for _ in range(50):
+            metrics.record_commit(100.0)        # pathological warm-up
+        metrics.reset()
+        for _ in range(50):
+            metrics.record_commit(0.2)
+        assert metrics.p95_response_time < 1.0
+        assert metrics.p99_response_time < 1.0
+        assert metrics.commits_by_tenant == {"": 50}

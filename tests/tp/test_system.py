@@ -220,3 +220,24 @@ class TestDisplacement:
         system = TransactionSystem(small_params())
         system.run(until=1.0)
         assert system.displace_to(1.0) == 0
+
+    def test_resubmission_waiting_time_not_inflated(self):
+        """Regression: a resubmitted transaction's wait is per-attempt.
+
+        The gate's limit stays infinite, so *every* admission — including
+        each resubmission after a forced displacement — is instantaneous.
+        Pre-fix, the second admission recorded ``now - submitted_at``,
+        which included the first attempt's entire in-system residence, so
+        the waiting-time maximum came out positive here.
+        """
+        params = small_params(think_time=0.05, n_terminals=10)
+        policy = DisplacementPolicy(criterion=VictimCriterion.YOUNGEST)
+        system = TransactionSystem(params, displacement=policy)
+        system.run(until=1.0)
+        displaced = system.displace_to(2.0)
+        assert displaced > 0
+        system.run(until=5.0)
+        metrics = system.metrics
+        assert metrics.aborts_by_reason[AbortReason.DISPLACEMENT] >= displaced
+        assert metrics.waiting_times.count > 0
+        assert metrics.waiting_times.maximum == 0.0

@@ -84,24 +84,58 @@ class TestWorkloadParametersOverTime:
         # unscheduled parameters keep their base values
         assert early.write_fraction == base.write_fraction
 
-    def test_params_at_clamps_to_valid_ranges(self):
+    def test_statically_out_of_range_schedules_rejected(self):
+        """Regression: out-of-range constant/step schedules fail loudly.
+
+        Pre-fix, ``params_at`` silently clamped them on every evaluation,
+        so the run swept different parameters than the spec declared (and
+        the analytic reference was computed from the clamped values).
+        """
         base = WorkloadParams(db_size=100, accesses_per_txn=8)
+        streams = RandomStreams(seed=1)
+        with pytest.raises(ValueError, match="accesses schedule"):
+            Workload.with_schedules(base, streams,
+                                    accesses=ConstantSchedule(1000.0))
+        with pytest.raises(ValueError, match="query_fraction schedule"):
+            Workload.with_schedules(base, streams,
+                                    query_fraction=ConstantSchedule(1.7))
+        with pytest.raises(ValueError, match="write_fraction schedule"):
+            Workload.with_schedules(base, streams,
+                                    write_fraction=ConstantSchedule(-0.3))
+        with pytest.raises(ValueError, match="write_fraction schedule"):
+            Workload.with_schedules(
+                base, streams,
+                write_fraction=StepSchedule(0.5, steps=[(10.0, 1.2)]))
+        with pytest.raises(ValueError, match="accesses schedule"):
+            Workload.with_schedules(
+                base, streams, accesses=JumpSchedule(8, 200, jump_time=5.0))
+
+    def test_accesses_rounding_below_one_rejected(self):
+        # a constant 0.2 rounds to k = 0: statically out of range, so it is
+        # rejected instead of silently clamped up to 1 as it used to be
+        base = WorkloadParams(db_size=100, accesses_per_txn=8)
+        with pytest.raises(ValueError, match="accesses schedule"):
+            Workload.with_schedules(base, RandomStreams(seed=1),
+                                    accesses=ConstantSchedule(0.2))
+
+    def test_dynamic_clamp_events_are_counted(self):
+        """A sinusoid straying outside the domain is clamped *and counted*."""
+        base = WorkloadParams(db_size=1000, accesses_per_txn=8)
         workload = Workload.with_schedules(
             base, RandomStreams(seed=1),
-            accesses=ConstantSchedule(1000.0),
-            query_fraction=ConstantSchedule(1.7),
-            write_fraction=ConstantSchedule(-0.3),
+            # mean 0.5, amplitude 1.0: the trough dips below 0, the crest
+            # tops 1 — a dynamic excursion the constructor cannot reject
+            write_fraction=SinusoidSchedule(mean=0.5, amplitude=1.0, period=40.0),
         )
-        params = workload.params_at(0.0)
-        assert params.accesses_per_txn == 100
-        assert params.query_fraction == 1.0
-        assert params.write_fraction == 0.0
-
-    def test_accesses_rounded_and_at_least_one(self):
-        base = WorkloadParams(db_size=100, accesses_per_txn=8)
-        workload = Workload.with_schedules(
-            base, RandomStreams(seed=1), accesses=ConstantSchedule(0.2))
-        assert workload.params_at(0.0).accesses_per_txn == 1
+        assert workload.schedule_clamped == 0
+        in_range = workload.params_at(0.0)  # sin(0) = 0: exactly the mean
+        assert in_range.write_fraction == pytest.approx(0.5)
+        assert workload.schedule_clamped == 0
+        clamped = workload.params_at(30.0)  # trough: 0.5 - 1.0 < 0
+        assert clamped.write_fraction == 0.0
+        assert workload.schedule_clamped == 1
+        workload.params_at(10.0)  # crest: 0.5 + 1.0 > 1
+        assert workload.schedule_clamped == 2
 
 
 class TestTransactionSampling:

@@ -4,7 +4,7 @@
 One JSON file per registry scenario (thrashing, fig12_stationary,
 fig13_is_jump, fig14_pa_jump, sinusoid, mixed_classes, cc_compare,
 displacement_policies, deadlock_resolution, isolation_tradeoff,
-probe_calibration), each produced by running every
+probe_calibration, open_diurnal, flash_crowd), each produced by running every
 cell of the scenario's smoke-scale sweep serially with the trajectory
 tracer installed.  A golden file pins, per cell:
 
@@ -71,7 +71,7 @@ GOLDEN_SCENARIOS = ("thrashing", "fig12_stationary", "fig13_is_jump",
                     "fig14_pa_jump", "sinusoid", "mixed_classes",
                     "cc_compare", "displacement_policies",
                     "deadlock_resolution", "isolation_tradeoff",
-                    "probe_calibration")
+                    "probe_calibration", "open_diurnal", "flash_crowd")
 
 #: bump when the golden file structure (not the trajectories) changes
 GOLDEN_FORMAT = 1

@@ -34,6 +34,8 @@ import json
 from pathlib import Path
 from typing import Optional, Sequence, Tuple
 
+from repro.canonical import sanitize as _sanitize
+
 #: bump when the artifact structure changes; load_archive enforces it
 ARCHIVE_FORMAT = 1
 
@@ -45,25 +47,10 @@ DEFAULT_TABLE_COLUMNS: Sequence[Tuple[str, str]] = (
 )
 
 
-def _sanitize(value):
-    """Tag non-finite floats so the artifact stays strict JSON.
-
-    Same encoding the golden-trajectory fixtures use: ``inf`` (e.g. the
-    final limit of an uncontrolled run) becomes ``"__inf__"`` etc.
-    """
-    if isinstance(value, float):
-        if value != value:  # NaN
-            return "__nan__"
-        if value == float("inf"):
-            return "__inf__"
-        if value == float("-inf"):
-            return "__-inf__"
-        return value
-    if isinstance(value, dict):
-        return {key: _sanitize(entry) for key, entry in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_sanitize(entry) for entry in value]
-    return value
+# non-finite floats are tagged by repro.canonical.sanitize — the exact
+# encoding the golden-trajectory fixtures and the fuzz corpus use, so the
+# three artifact families can never drift apart (pinned byte-for-byte by
+# tests/svc/test_canonical.py)
 
 
 def build_archive(result, *, scenario: str, scale_name: str,

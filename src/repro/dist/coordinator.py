@@ -106,19 +106,22 @@ class _SweepState:
     __slots__ = ("generation", "function", "items", "pending", "results",
                  "error", "last_progress", "queued_since")
 
-    def __init__(self, generation: int, function, items):
+    def __init__(self, generation: int, function, items, prefilled=None):
         self.generation = generation
         self.function = function
         self.items = items
-        self.pending = collections.deque(range(len(items)))
-        #: item index -> result, drained in order by the consumer
-        self.results = {}
+        #: item index -> result, drained in order by the consumer;
+        #: cache hits arrive pre-filled and are never queued at all
+        self.results = dict(prefilled) if prefilled else {}
+        self.pending = collections.deque(
+            index for index in range(len(items)) if index not in self.results
+        )
         self.error: Optional[BaseException] = None
         self.last_progress = time.monotonic()
         #: item index -> monotonic time it (re-)entered the queue; the
         #: dispatch telemetry span reports the difference as queue_wait
         now = self.last_progress
-        self.queued_since = {index: now for index in range(len(items))}
+        self.queued_since = {index: now for index in self.pending}
 
 
 class DistributedExecutor:
@@ -130,11 +133,22 @@ class DistributedExecutor:
     is how long a silent worker is trusted before its in-flight cell is
     re-queued; ``worker_timeout`` bounds how long a sweep waits with *zero*
     connected workers before giving up.
+
+    ``cell_cache`` (a :class:`~repro.svc.cache.ResultCache`, or anything
+    with its ``lookup``/``store`` seam) makes the executor consult a
+    content-addressed result cache before queueing each cell: hits are
+    pre-filled into the ordered result stream without ever reaching a
+    worker — a sweep whose every cell hits completes with zero workers
+    connected — and every fresh worker result fills the cache.  Errors
+    are never cached.  Soundness rests on cells being bit-deterministic;
+    the cache itself only engages for the canonical cell entry point
+    (see :mod:`repro.svc.cache`).
     """
 
     def __init__(self, address: str = "127.0.0.1:0", *,
                  heartbeat_timeout: float = 30.0,
-                 worker_timeout: float = 600.0):
+                 worker_timeout: float = 600.0,
+                 cell_cache=None):
         if heartbeat_timeout <= 0:
             raise ValueError(f"heartbeat_timeout must be positive, got {heartbeat_timeout}")
         if worker_timeout <= 0:
@@ -143,6 +157,7 @@ class DistributedExecutor:
         self._listener = socket.create_server((host, port))
         self._heartbeat_timeout = float(heartbeat_timeout)
         self._worker_timeout = float(worker_timeout)
+        self._cell_cache = cell_cache
         #: one lock+condition guards _workers, _sweep, _closed, _generation
         self._state = threading.Condition()
         self._workers: set = set()
@@ -179,6 +194,14 @@ class DistributedExecutor:
         def stream() -> Iterator[ResultT]:
             if not materialised:
                 return
+            # cache reads happen before the sweep is installed (no lock
+            # held, workers idle): hits never enter the work queue
+            prefilled = {}
+            if self._cell_cache is not None:
+                for index, item in enumerate(materialised):
+                    cached = self._cell_cache.lookup(function, item)
+                    if cached is not None:
+                        prefilled[index] = cached
             with self._state:
                 if self._closed:
                     raise RuntimeError("the executor is closed")
@@ -187,7 +210,8 @@ class DistributedExecutor:
                         "another sweep is already running on this executor"
                     )
                 self._generation += 1
-                sweep = _SweepState(self._generation, function, materialised)
+                sweep = _SweepState(self._generation, function, materialised,
+                                    prefilled=prefilled)
                 self._sweep = sweep
                 self._state.notify_all()
             try:
@@ -399,6 +423,7 @@ class DistributedExecutor:
                     continue
                 if kind == MSG_RESULT:
                     _, generation, index, payload = message
+                    fill = None
                     with self._state:
                         worker.in_flight = None
                         worker.cells_done += 1
@@ -406,9 +431,15 @@ class DistributedExecutor:
                         if sweep is not None and sweep.generation == generation:
                             sweep.results[index] = payload
                             sweep.last_progress = time.monotonic()
+                            if self._cell_cache is not None:
+                                fill = (sweep.function, sweep.items[index])
                         # a stale generation means the sweep this cell
                         # belonged to is gone; drop the payload silently
                         self._state.notify_all()
+                    if fill is not None:
+                        # disk write outside the lock: filling the cache
+                        # must never stall dispatch to other workers
+                        self._cell_cache.store(fill[0], fill[1], payload)
                     telemetry.emit(
                         "cell_result", peer=worker.name, index=index,
                         duration=time.monotonic() - worker.dispatched_at)

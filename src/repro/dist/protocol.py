@@ -45,6 +45,19 @@ MSG_TASK_ERROR = "task-error"  # (MSG_TASK_ERROR, generation, index, error)
 MSG_TASK = "task"              # (MSG_TASK, generation, index, function, item)
 MSG_SHUTDOWN = "shutdown"      # (MSG_SHUTDOWN,)
 
+# sweep-service control plane (client -> service), one request per
+# connection; every request is answered with MSG_SVC_OK or MSG_SVC_ERROR
+MSG_SVC_SUBMIT = "svc-submit"      # (MSG_SVC_SUBMIT, name, cells)
+MSG_SVC_STATUS = "svc-status"      # (MSG_SVC_STATUS, job_id_or_None)
+MSG_SVC_RESULTS = "svc-results"    # (MSG_SVC_RESULTS, job_id)
+MSG_SVC_CELLS = "svc-cells"        # (MSG_SVC_CELLS, job_id)
+MSG_SVC_CACHE = "svc-cache"        # (MSG_SVC_CACHE,)
+MSG_SVC_SHUTDOWN = "svc-shutdown"  # (MSG_SVC_SHUTDOWN,)
+
+# service -> client
+MSG_SVC_OK = "svc-ok"              # (MSG_SVC_OK, payload)
+MSG_SVC_ERROR = "svc-error"        # (MSG_SVC_ERROR, message)
+
 
 class ProtocolError(RuntimeError):
     """The peer sent bytes that do not frame a valid message."""

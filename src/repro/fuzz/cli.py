@@ -50,6 +50,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="experiment scale preset (default: smoke)")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes (0/1 = in-process serial)")
+    parser.add_argument("--service", default=None, metavar="HOST:PORT",
+                        help="route cells through a running repro-svc control "
+                             "address (repeat candidates hit its result cache)")
     parser.add_argument("--kinds", nargs="+", default=None, metavar="KIND",
                         choices=adversary_kinds(),
                         help=f"restrict adversary kinds (default: all of {', '.join(adversary_kinds())})")
@@ -81,8 +84,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     # progress diagnostics go through logging; the verdict lines, summary
     # and archive paths below are the CLI's contract and stay on stdout
-    logger.info("seed=%d budget=%d scale=%s workers=%d",
-                args.seed, args.budget, args.scale, args.workers)
+    logger.info("seed=%d budget=%d scale=%s workers=%d service=%s",
+                args.seed, args.budget, args.scale, args.workers, args.service)
     report = run_campaign(
         seed=args.seed,
         budget=args.budget,
@@ -90,6 +93,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers,
         thresholds=thresholds,
         kinds=args.kinds,
+        service_address=args.service,
     )
     for verdict in report.verdicts:
         status = f"FAIL({','.join(verdict.reasons)})" if verdict.failed else "ok"

@@ -18,11 +18,11 @@ campaigns that find the same counterexample write byte-identical files.
 from __future__ import annotations
 
 import json
-import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Tuple
 
+from repro.canonical import canonical_json, restore as _restore, sanitize as _sanitize  # noqa: F401
 from repro.fuzz.adversaries import AdversarySpec, adversary_from_jsonable
 from repro.fuzz.oracle import Verdict
 from repro.runner.cells import execute_run_spec
@@ -32,40 +32,11 @@ from repro.runner.specs import RunSpec, run_spec_from_jsonable, run_spec_to_json
 CORPUS_FORMAT = 1
 
 
-def _sanitize(value):
-    """Make a metrics mapping JSON-safe without losing inf/nan exactness."""
-    if isinstance(value, dict):
-        return {key: _sanitize(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_sanitize(item) for item in value]
-    if isinstance(value, float):
-        if math.isnan(value):
-            return "__nan__"
-        if value == math.inf:
-            return "__inf__"
-        if value == -math.inf:
-            return "__-inf__"
-    return value
-
-
-def _restore(value):
-    """Inverse of :func:`_sanitize`."""
-    if isinstance(value, dict):
-        return {key: _restore(item) for key, item in value.items()}
-    if isinstance(value, list):
-        return [_restore(item) for item in value]
-    if value == "__nan__":
-        return math.nan
-    if value == "__inf__":
-        return math.inf
-    if value == "__-inf__":
-        return -math.inf
-    return value
-
-
-def canonical_json(data) -> str:
-    """The corpus's canonical serialisation: sorted keys, no whitespace."""
-    return json.dumps(_sanitize(data), sort_keys=True, separators=(",", ":"))
+# the corpus's canonical serialisation is the repository-wide one
+# (repro.canonical): sorted keys, no whitespace, tagged non-finite floats.
+# CI byte-compares freshly archived counterexamples against the committed
+# corpus, so this delegation must never change the produced bytes —
+# pinned by tests/svc/test_canonical.py.
 
 
 @dataclass(frozen=True)

@@ -51,20 +51,34 @@ def run_campaign(seed: int, budget: int,
                  workers: int = 0,
                  thresholds: Optional[FailureThresholds] = None,
                  kinds: Optional[Sequence[str]] = None,
-                 executor=None) -> FuzzReport:
+                 executor=None,
+                 service_address: Optional[str] = None) -> FuzzReport:
     """Search ``budget`` adversarial candidates for controller failures.
 
     ``executor`` overrides the worker-count seam (any object with the
     runner's ``execute(function, items)`` interface); otherwise ``workers``
     selects the serial (0/1) or process-parallel executor exactly as
     :func:`repro.runner.executor.make_executor` does for sweeps.
+    ``service_address`` instead routes the campaign's cells through a
+    running sweep service's control plane (:mod:`repro.svc`): candidates
+    any earlier campaign or sweep already simulated are served from the
+    service's content-addressed cache — bit-identical to a fresh run, so
+    verdicts and archived counterexamples are unchanged byte for byte.
     """
     scale = scale or ExperimentScale.smoke()
     thresholds = thresholds or FailureThresholds()
     adversaries = generate_candidates(seed, budget, kinds)
     cells = [adversary.lower(scale) for adversary in adversaries]
+    if executor is not None and service_address is not None:
+        raise TypeError("pass either executor= or service_address=, not both")
     if executor is None:
-        executor = make_executor(workers)
+        if service_address is not None:
+            from repro.svc.client import ServiceExecutor
+
+            executor = ServiceExecutor(service_address,
+                                       name=f"fuzz-seed{seed}-budget{budget}")
+        else:
+            executor = make_executor(workers)
     results = executor.execute(execute_run_spec, cells)
     report = FuzzReport(seed=seed, budget=budget,
                         candidates=list(zip(adversaries, cells)),

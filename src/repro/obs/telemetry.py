@@ -4,7 +4,11 @@ Where the in-sim probes (:mod:`repro.obs.probes`) observe the *simulated*
 trajectory, telemetry observes the *execution machinery*: how long each
 cell took on the wall clock, which worker process ran it, how long cells
 queued at the distributed coordinator, how workers join and leave, and
-when in-flight work was requeued after a crash.  Spans are appended as one
+when in-flight work was requeued after a crash.  The sweep service adds
+its own spans on the same stream: ``job_submit`` when a job enters the
+queue, and ``cache_hit`` / ``cache_miss`` (with the content-addressed
+``key`` and ``cell_id``) for every consultation of its result cache
+(:mod:`repro.svc.cache`).  Spans are appended as one
 canonical-JSON line each (sorted keys, compact separators) to a single
 file, so a whole local cluster — coordinator, multiprocessing workers,
 dist worker processes — interleaves safely into one stream:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.canonical import canonical_digest
 from repro.cc.registry import CCSpec
 from repro.core.controller import LoadController
 from repro.core.displacement import DisplacementPolicy, VictimCriterion
@@ -561,6 +562,41 @@ def run_spec_from_jsonable(data: dict) -> RunSpec:
         arrivals=(_decode_arrivals(data["arrivals"])
                   if data.get("arrivals") else None),
     )
+
+
+#: version salt hashed into every :func:`run_spec_fingerprint`.  The hashed
+#: document already embeds :data:`RUN_SPEC_FORMAT` (so encoder changes
+#: produce new keys by construction); bump THIS constant when the
+#: fingerprinting scheme itself changes — e.g. a different canonicalisation
+#: or digest — so stale content-addressed cache entries can never be
+#: misread as fresh ones.
+SPEC_FINGERPRINT_VERSION = 1
+
+
+def run_spec_fingerprint(spec: RunSpec) -> str:
+    """Content fingerprint of a declarative cell: equal specs, equal keys.
+
+    The blake2b-256 hex digest of the canonical JSON serialisation
+    (:func:`repro.canonical.canonical_json`) of the resolved spec —
+    :func:`run_spec_to_jsonable` output wrapped with
+    :data:`SPEC_FINGERPRINT_VERSION`.  This is the cache key of the sweep
+    service's content-addressed result cache (:mod:`repro.svc`): because
+    every cell is bit-deterministic, two specs with equal fingerprints
+    provably produce byte-identical results, which is what makes serving a
+    repeated cell from the cache *sound* rather than approximate.
+
+    Properties pinned by ``tests/svc/test_cache_key.py``: equal specs hash
+    equal; any semantic perturbation (seed, offered load, CC option,
+    schedule breakpoint, probe set, arrivals, replicate, ...) changes the
+    key; the key is a pure function of the spec's content, stable across
+    process boundaries, worker counts and hosts.  Specs that cannot be
+    encoded as JSON (ad-hoc callables, interval tuners) raise ``ValueError``
+    — such cells are uncacheable and must always be simulated.
+    """
+    return canonical_digest({
+        "fingerprint_version": SPEC_FINGERPRINT_VERSION,
+        "run_spec": run_spec_to_jsonable(spec),
+    })
 
 
 @dataclass(frozen=True)

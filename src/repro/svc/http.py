@@ -1,0 +1,126 @@
+"""Stdlib HTTP/JSON control plane over a running sweep service.
+
+A thin, dependency-free veneer (``http.server``) over the same
+:class:`~repro.svc.service.SweepService` job API the TCP control plane
+exposes, for callers that prefer ``curl`` to pickles:
+
+* ``GET /health`` — liveness plus the connected worker count;
+* ``POST /jobs`` — submit a job; the JSON body is either
+  ``{"scenario": name, "scale": "smoke", "replicates": 1}`` (lowered
+  server-side through the registry) or ``{"name": ..., "cells": [...]}``
+  with :func:`~repro.runner.specs.run_spec_from_jsonable` documents;
+* ``GET /jobs`` — every job's status, ``GET /jobs/<id>`` — one job's;
+* ``GET /jobs/<id>/results`` — the deterministic results document of a
+  finished job (409 while queued/running);
+* ``GET /cache`` — the content-addressed cache's counters.
+
+Error mapping: unknown paths and job ids are 404, malformed bodies 400,
+results of unfinished jobs 409 — all with a JSON ``{"error": ...}`` body.
+Responses use the repository's canonical JSON encoding, so a warm job's
+``/results`` bytes equal the cold run's.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.canonical import canonical_json
+from repro.runner.specs import run_spec_from_jsonable
+from repro.svc.service import SweepService
+
+logger = logging.getLogger("repro.svc.http")
+
+#: cap request bodies well below anything a legitimate submission needs
+MAX_BODY_BYTES = 64 << 20
+
+
+def _make_handler(service: SweepService):
+    """Bind a request-handler class to one service instance."""
+
+    class ControlHandler(BaseHTTPRequestHandler):
+        """One HTTP request against the service's job API."""
+
+        server_version = "repro-svc/1"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            logger.debug("%s - %s", self.address_string(), format % args)
+
+        def _reply(self, status: int, payload) -> None:
+            body = (canonical_json(payload) + "\n").encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _error(self, status: int, message: str) -> None:
+            self._reply(status, {"error": message})
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            parts = [part for part in self.path.split("/") if part]
+            try:
+                if parts == ["health"]:
+                    self._reply(200, {"status": "ok",
+                                      "workers": service.executor.workers})
+                elif parts == ["cache"]:
+                    self._reply(200, service.cache_stats())
+                elif parts == ["jobs"]:
+                    self._reply(200, service.status())
+                elif len(parts) == 2 and parts[0] == "jobs":
+                    self._reply(200, service.status(parts[1]))
+                elif (len(parts) == 3 and parts[0] == "jobs"
+                        and parts[2] == "results"):
+                    self._reply(200, service.results(parts[1]))
+                else:
+                    self._error(404, f"unknown path {self.path!r}")
+            except KeyError as exc:
+                self._error(404, str(exc.args[0]) if exc.args else str(exc))
+            except RuntimeError as exc:
+                self._error(409, str(exc))
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            parts = [part for part in self.path.split("/") if part]
+            if parts != ["jobs"]:
+                self._error(404, f"unknown path {self.path!r}")
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                if not 0 < length <= MAX_BODY_BYTES:
+                    raise ValueError(f"bad Content-Length {length}")
+                body = json.loads(self.rfile.read(length).decode("utf-8"))
+                if "cells" in body:
+                    cells = [run_spec_from_jsonable(cell)
+                             for cell in body["cells"]]
+                    job_id = service.submit(body.get("name", "http-job"),
+                                            cells)
+                else:
+                    job_id = service.submit_scenario(
+                        body["scenario"],
+                        scale=body.get("scale", "smoke"),
+                        replicates=int(body.get("replicates", 1)),
+                    )
+            except (KeyError, TypeError, ValueError) as exc:
+                self._error(400, f"bad submission: {exc}")
+                return
+            except RuntimeError as exc:
+                self._error(409, str(exc))
+                return
+            self._reply(201, {"job_id": job_id})
+
+    return ControlHandler
+
+
+def make_http_server(service: SweepService,
+                     address: str = "127.0.0.1:0") -> ThreadingHTTPServer:
+    """Bind the HTTP control plane; caller runs ``serve_forever`` (or a thread).
+
+    Returns the bound server; its actual port is ``server.server_address``.
+    """
+    from repro.dist.protocol import parse_address
+
+    host, port = parse_address(address)
+    server = ThreadingHTTPServer((host, port), _make_handler(service))
+    server.daemon_threads = True
+    return server

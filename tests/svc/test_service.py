@@ -1,0 +1,363 @@
+"""In-process coverage of the sweep service, its control planes and CLI.
+
+The soundness and recovery guarantees live in ``test_cache_soundness.py``
+and ``test_crash_recovery.py``; this module covers the machinery around
+them: FIFO queue semantics, per-request error mapping on both control
+planes (TCP and HTTP), the cache's degradation paths (corrupt entries,
+foreign functions), the telemetry spans, fuzz-campaign routing, and the
+``repro-svc`` CLI end to end (``serve`` runs in a thread here so the
+coverage gate sees it; the subprocess path is exercised by the
+crash-recovery test).
+"""
+
+import dataclasses
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.canonical import canonical_json
+from repro.dist.worker import Worker
+from repro.experiments.config import ExperimentScale
+from repro.obs.telemetry import telemetry_to
+from repro.runner.cells import execute_run_spec
+from repro.runner.executor import SerialExecutor
+from repro.runner.registry import build_sweep
+from repro.runner.specs import ControllerSpec
+from repro.svc.cache import ResultCache
+from repro.svc.cli import main as svc_main
+from repro.svc.client import ServiceClient, ServiceError, ServiceExecutor
+from repro.svc.http import make_http_server
+from repro.svc.service import SweepService, results_document
+
+
+def _thread_worker(address: str) -> threading.Thread:
+    worker = Worker(address, connect_retry=30.0)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    return thread
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return list(build_sweep("thrashing", scale=ExperimentScale.smoke()).cells)
+
+
+@pytest.fixture(scope="module")
+def serial_results(cells):
+    return SerialExecutor().execute(execute_run_spec, cells)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    with SweepService(cache=tmp_path / "cache") as svc:
+        _thread_worker(svc.worker_address)
+        svc.executor.wait_for_workers(1)
+        yield svc
+
+
+class TestJobLifecycle:
+    def test_submit_runs_and_results_match_a_serial_run(self, service, cells,
+                                                        serial_results):
+        client = ServiceClient(service.control_address)
+        job_id = client.submit("direct", cells)
+        status = client.wait(job_id, timeout=120.0)
+        assert status["state"] == "done"
+        assert status["n_cells"] == len(cells)
+        assert canonical_json(client.results(job_id)) == \
+            canonical_json(results_document("direct", serial_results))
+        raw = client.result_cells(job_id)
+        assert [r.metrics for r in raw] == [r.metrics for r in serial_results]
+
+    def test_jobs_run_fifo_and_queue_positions_are_reported(self, tmp_path,
+                                                            cells):
+        # no workers: the first job occupies the executor, the rest queue
+        with SweepService(cache=tmp_path / "q") as svc:
+            client = ServiceClient(svc.control_address)
+            first = client.submit("first", cells)
+            second = client.submit("second", cells)
+            third = client.submit("third", cells)
+            import time
+            for _ in range(100):
+                if client.status(first)["state"] == "running":
+                    break
+                time.sleep(0.02)
+            assert client.status(first)["state"] == "running"
+            assert client.status(second)["state"] == "queued"
+            assert client.status(second)["position"] == 0
+            assert client.status(third)["position"] == 1
+            everything = client.status()
+            assert [job["job_id"] for job in everything] == \
+                [first, second, third]
+            # a busy service queues rather than rejects; results of an
+            # unfinished job are refused, not blocked on
+            with pytest.raises(ServiceError, match="not done"):
+                client.results(first)
+
+    def test_failed_job_is_recorded_and_service_survives(self, service,
+                                                         cells):
+        client = ServiceClient(service.control_address)
+        broken = [dataclasses.replace(
+            cells[0], controller=ControllerSpec.make("no-such-controller"))]
+        job_id = client.submit("broken", broken)
+        status = client.wait(job_id, timeout=120.0)
+        assert status["state"] == "failed"
+        assert "no-such-controller" in status["error"]
+        with pytest.raises(ServiceError, match="failed"):
+            client.results(job_id)
+        # the failure is not cached and the service keeps serving
+        follow_up = client.submit("after-failure", cells[:1])
+        assert client.wait(follow_up, timeout=120.0)["state"] == "done"
+
+    def test_submission_validates_cell_types(self, service):
+        with pytest.raises(TypeError):
+            service.submit("bad", ["not a RunSpec"])
+        client = ServiceClient(service.control_address)
+        with pytest.raises(ServiceError, match="RunSpec"):
+            client.submit("bad", ["not a RunSpec"])
+
+    def test_unknown_job_ids_are_refused(self, service):
+        client = ServiceClient(service.control_address)
+        for request in (lambda: client.status("job-999"),
+                        lambda: client.results("job-999"),
+                        lambda: client.result_cells("job-999")):
+            with pytest.raises(ServiceError, match="job-999"):
+                request()
+
+    def test_uncached_service_reports_cache_disabled(self, tmp_path, cells):
+        with SweepService() as svc:
+            _thread_worker(svc.worker_address)
+            svc.executor.wait_for_workers(1)
+            client = ServiceClient(svc.control_address)
+            assert client.cache_stats() == {"enabled": False}
+            job_id = client.submit("uncached", cells[:1])
+            status = client.wait(job_id, timeout=120.0)
+            assert status["state"] == "done"
+            assert status["cache_hits"] == status["cache_misses"] == 0
+
+    def test_shutdown_request_closes_the_service(self, tmp_path):
+        svc = SweepService(cache=tmp_path / "s")
+        client = ServiceClient(svc.control_address)
+        assert client.shutdown() == "shutting down"
+        import time
+        for _ in range(100):
+            if svc.closed:
+                break
+            time.sleep(0.02)
+        assert svc.closed
+        with pytest.raises(RuntimeError, match="shut down"):
+            svc.submit("late", [])
+
+
+class TestServiceExecutor:
+    def test_routes_a_fuzz_campaign_with_cache_reuse(self, tmp_path):
+        from repro.fuzz.executor import run_campaign
+
+        with SweepService(cache=tmp_path / "fuzz") as svc:
+            _thread_worker(svc.worker_address)
+            svc.executor.wait_for_workers(1)
+            direct = run_campaign(seed=5, budget=2)
+            routed = run_campaign(seed=5, budget=2,
+                                  service_address=svc.control_address)
+            # bit-identical verdicts and metrics through the service
+            assert [v.failed for v in routed.verdicts] == \
+                [v.failed for v in direct.verdicts]
+            assert [r.metrics for r in routed.results] == \
+                [r.metrics for r in direct.results]
+            # a repeat campaign is served entirely from the cache
+            repeat = run_campaign(seed=5, budget=2,
+                                  service_address=svc.control_address)
+            assert [r.metrics for r in repeat.results] == \
+                [r.metrics for r in direct.results]
+            client = ServiceClient(svc.control_address)
+            last = client.status()[-1]
+            assert last["cache_hits"] == last["n_cells"]
+            assert last["cache_misses"] == 0
+
+    def test_rejects_foreign_functions_and_mixed_seams(self, service, cells):
+        executor = ServiceExecutor(service.control_address)
+        with pytest.raises(ValueError, match="execute_run_spec"):
+            executor.execute(len, cells)
+        assert executor.execute(execute_run_spec, []) == []
+        from repro.fuzz.executor import run_campaign
+
+        with pytest.raises(TypeError, match="not both"):
+            run_campaign(seed=1, budget=1, executor=SerialExecutor(),
+                         service_address=service.control_address)
+
+
+class TestTelemetry:
+    def test_cache_and_job_spans_are_emitted(self, tmp_path, cells):
+        sink_path = tmp_path / "telemetry.jsonl"
+        with telemetry_to(str(sink_path)):
+            with SweepService(cache=tmp_path / "cache") as svc:
+                _thread_worker(svc.worker_address)
+                svc.executor.wait_for_workers(1)
+                client = ServiceClient(svc.control_address)
+                client.wait(client.submit("cold", cells[:1]), timeout=120.0)
+                client.wait(client.submit("warm", cells[:1]), timeout=120.0)
+        spans = [json.loads(line)
+                 for line in sink_path.read_text().splitlines()]
+        by_name = {}
+        for record in spans:
+            by_name.setdefault(record["span"], []).append(record)
+        assert len(by_name["job_submit"]) == 2
+        assert by_name["job_submit"][0]["name"] == "cold"
+        [miss] = by_name["cache_miss"]
+        [hit] = by_name["cache_hit"]
+        # the content-addressed key is the same spec both times
+        assert hit["key"] == miss["key"]
+        assert hit["cell_id"] == cells[0].cell_id
+
+
+class TestCacheDegradation:
+    def test_corrupt_entry_is_a_miss_and_heals_on_refill(self, tmp_path,
+                                                         cells,
+                                                         serial_results):
+        cache = ResultCache(tmp_path)
+        key = cache.put(cells[0], serial_results[0])
+        assert cache.get(cells[0]).metrics == serial_results[0].metrics
+        cache.path_for(key).write_bytes(b"torn write")
+        assert cache.get(cells[0]) is None  # degraded, not raised
+        cache.put(cells[0], serial_results[0])
+        assert cache.get(cells[0]).metrics == serial_results[0].metrics
+        stats = cache.stats()
+        assert stats["hits"] == 2 and stats["misses"] == 1
+        assert stats["stores"] == 2 and stats["entries"] == 1
+
+    def test_seam_ignores_foreign_functions_and_items(self, tmp_path, cells):
+        cache = ResultCache(tmp_path)
+        cache.store(len, cells[0], "nonsense")
+        assert cache.entries() == 0
+        assert cache.lookup(len, cells[0]) is None
+        assert cache.lookup(execute_run_spec, "not a spec") is None
+        # none of that touched the hit/miss accounting
+        assert cache.stats()["hits"] == cache.stats()["misses"] == 0
+
+
+class TestHttpControlPlane:
+    @pytest.fixture()
+    def http_base(self, service):
+        server = make_http_server(service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+
+    def _get(self, url):
+        with urllib.request.urlopen(url) as response:
+            return response.status, json.loads(response.read())
+
+    def _post(self, url, payload):
+        request = urllib.request.Request(
+            url, data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+
+    def test_submit_status_results_health_cache(self, service, http_base,
+                                                cells, serial_results):
+        status, health = self._get(http_base + "/health")
+        assert (status, health) == (200, {"status": "ok", "workers": 1})
+        status, created = self._post(http_base + "/jobs",
+                                     {"scenario": "thrashing"})
+        assert status == 201
+        job_id = created["job_id"]
+        client = ServiceClient(service.control_address)
+        client.wait(job_id, timeout=120.0)
+        status, listing = self._get(http_base + "/jobs")
+        assert any(job["job_id"] == job_id for job in listing)
+        status, job = self._get(f"{http_base}/jobs/{job_id}")
+        assert job["state"] == "done"
+        status, document = self._get(f"{http_base}/jobs/{job_id}/results")
+        assert canonical_json(document) == \
+            canonical_json(results_document("thrashing", serial_results))
+        status, stats = self._get(http_base + "/cache")
+        assert stats["enabled"] and stats["stores"] >= len(cells)
+
+    def test_submission_by_explicit_cell_documents(self, service, http_base,
+                                                   cells):
+        from repro.runner.specs import run_spec_to_jsonable
+
+        payload = {"name": "by-cells",
+                   "cells": [run_spec_to_jsonable(cells[0])]}
+        status, created = self._post(http_base + "/jobs", payload)
+        assert status == 201
+        final = ServiceClient(service.control_address).wait(
+            created["job_id"], timeout=120.0)
+        assert final["state"] == "done" and final["n_cells"] == 1
+
+    @pytest.mark.parametrize("path", ["/nope", "/jobs/job-999",
+                                      "/jobs/job-999/results"])
+    def test_unknown_paths_and_jobs_are_404(self, http_base, path):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            self._get(http_base + path)
+        assert caught.value.code == 404
+
+    def test_malformed_submissions_are_400(self, http_base):
+        for payload in ({}, {"scenario": "no-such-scenario"},
+                        {"scenario": "thrashing", "scale": "bogus"}):
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                self._post(http_base + "/jobs", payload)
+            assert caught.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            self._post(http_base + "/nope", {"scenario": "thrashing"})
+        assert caught.value.code == 404
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestCli:
+    def test_serve_and_every_client_subcommand(self, tmp_path, capsys):
+        control = f"127.0.0.1:{_free_port()}"
+        http = f"127.0.0.1:{_free_port()}"
+        serve = threading.Thread(
+            target=svc_main,
+            args=(["serve", "--control", control, "--http", http,
+                   "--cache", str(tmp_path / "cache"),
+                   "--local-workers", "1", "--min-workers", "1"],),
+            daemon=True)
+        serve.start()
+        client = ServiceClient(control)
+        import time
+        for _ in range(300):
+            try:
+                client.cache_stats()
+                break
+            except OSError:
+                time.sleep(0.1)
+        else:
+            pytest.fail("serve thread never opened its control port")
+
+        assert svc_main(["submit", "--address", control, "thrashing",
+                         "--wait"]) == 0
+        out = capsys.readouterr().out
+        assert "job-1" in out and '"state": "done"' in out
+        assert svc_main(["status", "--address", control, "job-1"]) == 0
+        assert '"cache_misses": 3' in capsys.readouterr().out
+        assert svc_main(["status", "--address", control]) == 0
+        assert svc_main(["results", "--address", control, "job-1"]) == 0
+        assert '"cells"' in capsys.readouterr().out
+        assert svc_main(["cache", "--address", control]) == 0
+        assert '"stores": 3' in capsys.readouterr().out
+        assert svc_main(["shutdown", "--address", control]) == 0
+        serve.join(timeout=30)
+        assert not serve.is_alive()
+
+    def test_submit_wait_exits_nonzero_on_failure(self, tmp_path, capsys):
+        # a service with no workers and a tiny stall budget: the job fails
+        with SweepService(cache=tmp_path / "f", worker_timeout=0.6) as svc:
+            assert svc_main(["submit", "--address", svc.control_address,
+                             "thrashing", "--wait", "--timeout", "60"]) == 1
+            assert '"state": "failed"' in capsys.readouterr().out
+
+    def test_exit_after_fills_requires_a_cache(self):
+        with pytest.raises(SystemExit, match="requires --cache"):
+            svc_main(["serve", "--exit-after-fills", "1"])

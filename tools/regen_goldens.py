@@ -53,14 +53,13 @@ semantic changes.
 from __future__ import annotations
 
 import argparse
-import hashlib
-import json
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.canonical import canonical_digest, canonical_json, sanitize  # noqa: E402, F401
 from repro.experiments.config import ExperimentScale  # noqa: E402
 from repro.runner.cells import execute_run_spec  # noqa: E402
 from repro.runner.registry import available_scenarios, build_sweep  # noqa: E402
@@ -80,37 +79,16 @@ GOLDEN_FORMAT = 1
 EVENTS_HEAD = 100
 
 
-def sanitize(payload):
-    """Replace non-finite floats (e.g. an ``inf`` limit) with tagged strings.
-
-    JSON has no Infinity/NaN; the tag keeps the canonical form strictly
-    JSON-compliant while remaining an exact, unambiguous encoding.
-    """
-    if isinstance(payload, float):
-        if payload != payload:  # NaN
-            return "__nan__"
-        if payload == float("inf"):
-            return "__inf__"
-        if payload == float("-inf"):
-            return "__-inf__"
-        return payload
-    if isinstance(payload, dict):
-        return {key: sanitize(value) for key, value in payload.items()}
-    if isinstance(payload, (list, tuple)):
-        return [sanitize(value) for value in payload]
-    return payload
-
-
-def canonical_json(payload) -> str:
-    """The canonical serialisation compared bitwise by the golden tests."""
-    return json.dumps(sanitize(payload), sort_keys=True, separators=(",", ":"),
-                      ensure_ascii=True, allow_nan=False)
+# sanitize and canonical_json are re-exported from repro.canonical (the
+# repository's single canonical encoder, shared with the archive writer,
+# the fuzz corpus and the sweep service's cache keys); the golden tests
+# import them from this module, which keeps this tool the single source of
+# truth for *capture* while the byte encoding lives in one place.
 
 
 def events_digest(events) -> str:
     """Blake2b-256 hex digest of the canonical serialisation of a full log."""
-    canonical = canonical_json([list(event) for event in events])
-    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=32).hexdigest()
+    return canonical_digest([list(event) for event in events])
 
 
 def capture_scenario(name: str) -> dict:
